@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Figure 2 — the motivation experiment.
+ *
+ * (a) Throughput of MIX 01 over 20 execution intervals under four
+ *     static topologies, normalized per-interval to the all-shared
+ *     (16:1:1) baseline. The paper's point: the best topology
+ *     changes over time (curves cross).
+ * (b) dedup and freqmine (16 threads each) on the same topologies:
+ *     the best topology differs per application (paper: dedup peaks
+ *     at (4:4:1), freqmine at (1:16:1)).
+ */
+
+#include "common.hh"
+
+using namespace morphcache;
+using namespace morphcache::bench;
+
+namespace {
+
+void
+figure2a()
+{
+    const HierarchyParams hier = experimentHierarchy(16);
+    const GeneratorParams gen = generatorFor(hier);
+    SimParams sim = defaultSim();
+    sim.epochs = 20;
+
+    const MixSpec &mix = mixByName("MIX 01");
+    const Topology shapes[] = {
+        Topology::symmetric(16, 16, 1, 1),
+        Topology::symmetric(16, 1, 1, 16),
+        Topology::symmetric(16, 4, 4, 1),
+        Topology::symmetric(16, 8, 2, 1),
+        Topology::symmetric(16, 1, 16, 1),
+    };
+
+    std::vector<std::vector<double>> series;
+    for (const Topology &topo : shapes) {
+        const RunResult run =
+            runStaticMix(mix, topo, hier, gen, sim, baseSeed());
+        std::vector<double> tputs;
+        for (const EpochMetrics &epoch : run.epochs)
+            tputs.push_back(epoch.throughput);
+        series.push_back(std::move(tputs));
+    }
+
+    std::printf("Figure 2(a): MIX 01 throughput per interval, "
+                "normalized to (16:1:1)\n");
+    std::printf("%-10s", "interval");
+    for (const Topology &topo : shapes)
+        std::printf(" %9s", topo.name().c_str());
+    std::printf("   best\n");
+    int lead_changes = 0;
+    std::size_t prev_best = 0;
+    for (std::size_t e = 0; e < series[0].size(); ++e) {
+        std::printf("%-10zu", e + 1);
+        std::size_t best = 0;
+        for (std::size_t t = 0; t < series.size(); ++t) {
+            const double norm = series[t][e] / series[0][e];
+            std::printf(" %9.3f", norm);
+            if (series[t][e] > series[best][e])
+                best = t;
+        }
+        std::printf("   %s\n", shapes[best].name().c_str());
+        if (e > 0 && best != prev_best)
+            ++lead_changes;
+        prev_best = best;
+    }
+    std::printf("lead changes across intervals: %d (paper: the "
+                "best configuration varies with time)\n\n",
+                lead_changes);
+}
+
+void
+figure2b()
+{
+    HierarchyParams hier = experimentHierarchy(16);
+    hier.coherence = true;
+    const GeneratorParams gen = generatorFor(hier);
+    const SimParams sim = defaultSim();
+
+    const Topology shapes[] = {
+        Topology::symmetric(16, 16, 1, 1),
+        Topology::symmetric(16, 1, 1, 16),
+        Topology::symmetric(16, 4, 4, 1),
+        Topology::symmetric(16, 8, 2, 1),
+        Topology::symmetric(16, 1, 16, 1),
+    };
+
+    std::printf("Figure 2(b): multithreaded performance "
+                "(1/exec-time) normalized to (16:1:1)\n");
+    std::printf("%-14s", "app");
+    for (const Topology &topo : shapes)
+        std::printf(" %9s", topo.name().c_str());
+    std::printf("   best\n");
+
+    for (const char *app : {"dedup", "freqmine"}) {
+        std::printf("%-14s", app);
+        double base = 0.0;
+        std::size_t best = 0;
+        std::vector<double> perfs;
+        for (const Topology &topo : shapes) {
+            MultithreadedWorkload workload(profileByName(app), 16,
+                                           gen, baseSeed());
+            StaticTopologySystem system(hier, topo);
+            Simulation simulation(system, workload, sim);
+            perfs.push_back(simulation.run().performance);
+        }
+        base = perfs[0];
+        for (std::size_t t = 0; t < perfs.size(); ++t) {
+            std::printf(" %9.3f", perfs[t] / base);
+            if (perfs[t] > perfs[best])
+                best = t;
+        }
+        std::printf("   %s\n", shapes[best].name().c_str());
+    }
+    std::printf("paper: dedup peaks at (4:4:1), freqmine at "
+                "(1:16:1) — no one topology serves both\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    figure2a();
+    figure2b();
+    return 0;
+}

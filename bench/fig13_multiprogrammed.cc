@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 13 — throughput of MorphCache versus the five static
+ * topologies on the twelve Table 5 mixes, normalized per mix to
+ * the all-shared (16:1:1) baseline.
+ *
+ * Paper headline: MorphCache +29.9% over (16:1:1), +29.3% over
+ * (1:1:16), +19.9% over (4:4:1), +18.8% over (8:2:1), +27.9% over
+ * (1:16:1); mixes 1-3, 6-7 and 10 (more high-ACF members) derive
+ * smaller benefits.
+ */
+
+#include "common.hh"
+
+using namespace morphcache;
+using namespace morphcache::bench;
+
+int
+main()
+{
+    const HierarchyParams hier = experimentHierarchy(16);
+    const GeneratorParams gen = generatorFor(hier);
+    const SimParams sim = defaultSim();
+    const auto topologies = paperStaticTopologies();
+
+    std::printf("Figure 13: throughput normalized to (16:1:1), per "
+                "mix\n");
+    printMixHeader();
+
+    std::vector<std::vector<double>> static_norm(topologies.size());
+    std::vector<double> morph_norm;
+    std::vector<double> baseline(12, 0.0);
+
+    for (int m = 1; m <= 12; ++m) {
+        char name[16];
+        std::snprintf(name, sizeof(name), "MIX %02d", m);
+        const MixSpec &mix = mixByName(name);
+        for (std::size_t t = 0; t < topologies.size(); ++t) {
+            const RunResult run = runStaticMix(
+                mix, topologies[t], hier, gen, sim, baseSeed() + m);
+            if (t == 0)
+                baseline[m - 1] = run.avgThroughput;
+            static_norm[t].push_back(run.avgThroughput /
+                                     baseline[m - 1]);
+        }
+        const RunResult run = runMorphMix(mix, hier, gen, sim,
+                                          baseSeed() + m,
+                                          MorphConfig{});
+        morph_norm.push_back(run.avgThroughput / baseline[m - 1]);
+    }
+
+    for (std::size_t t = 0; t < topologies.size(); ++t)
+        printSeries(topologies[t].name().c_str(), static_norm[t]);
+    printSeries("MorphCache", morph_norm);
+
+    std::printf("\npaper averages: (16:1:1) 1.000, (1:1:16) 1.005, "
+                "(4:4:1) 1.083, (8:2:1) 1.093, (1:16:1) 1.016, "
+                "MorphCache 1.299\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 14 — weighted speedup (WS) and fair speedup (FS) of
+ * MorphCache and the strongest static topologies, normalized to
+ * the (16:1:1) baseline.
+ *
+ * Per-application speedups are IPC ratios against the baseline
+ * run; WS is their arithmetic mean, FS their harmonic mean (Smith
+ * [25]). Paper: MorphCache +32.8% WS over the baseline and +12.3%
+ * over the best static on WS ((2:2:4)); +29.7% FS over the
+ * baseline and +10.8% over the best static on FS ((4:4:1)).
+ */
+
+#include "common.hh"
+
+#include "stats/metrics.hh"
+
+using namespace morphcache;
+using namespace morphcache::bench;
+
+int
+main()
+{
+    const HierarchyParams hier = experimentHierarchy(16);
+    const GeneratorParams gen = generatorFor(hier);
+    const SimParams sim = defaultSim();
+
+    const Topology baseline_topo = Topology::symmetric(16, 16, 1, 1);
+    // The paper singles out (2:2:4) as the best-WS static and
+    // (4:4:1) as the best-FS static.
+    const Topology ws_static = Topology::symmetric(16, 2, 2, 4);
+    const Topology fs_static = Topology::symmetric(16, 4, 4, 1);
+
+    std::printf("Figure 14: weighted/fair speedup vs (16:1:1)\n");
+    std::printf("%-8s %12s %12s %12s %12s\n", "mix", "WS(2:2:4)",
+                "WS(morph)", "FS(4:4:1)", "FS(morph)");
+
+    double ws_s = 0, ws_m = 0, fs_s = 0, fs_m = 0;
+    for (int m = 1; m <= 12; ++m) {
+        char name[16];
+        std::snprintf(name, sizeof(name), "MIX %02d", m);
+        const MixSpec &mix = mixByName(name);
+
+        const RunResult base = runStaticMix(
+            mix, baseline_topo, hier, gen, sim, baseSeed() + m);
+        const RunResult ws_run = runStaticMix(
+            mix, ws_static, hier, gen, sim, baseSeed() + m);
+        const RunResult fs_run = runStaticMix(
+            mix, fs_static, hier, gen, sim, baseSeed() + m);
+        const RunResult morph = runMorphMix(
+            mix, hier, gen, sim, baseSeed() + m, MorphConfig{});
+
+        const double ws1 =
+            weightedSpeedup(ws_run.avgIpc, base.avgIpc);
+        const double ws2 =
+            weightedSpeedup(morph.avgIpc, base.avgIpc);
+        const double fs1 = fairSpeedup(fs_run.avgIpc, base.avgIpc);
+        const double fs2 = fairSpeedup(morph.avgIpc, base.avgIpc);
+        std::printf("%-8s %12.3f %12.3f %12.3f %12.3f\n", name, ws1,
+                    ws2, fs1, fs2);
+        ws_s += ws1;
+        ws_m += ws2;
+        fs_s += fs1;
+        fs_m += fs2;
+    }
+    std::printf("%-8s %12.3f %12.3f %12.3f %12.3f\n", "AVG",
+                ws_s / 12, ws_m / 12, fs_s / 12, fs_m / 12);
+    std::printf("\npaper: morph WS 1.328 (best static 1.183), morph "
+                "FS 1.297 (best static 1.171)\n");
+    return 0;
+}

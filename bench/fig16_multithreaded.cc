@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 16 — multithreaded (PARSEC) performance of MorphCache
+ * versus the static topologies, one application at a time with 16
+ * threads, measured as inverse execution time and normalized to
+ * (16:1:1).
+ *
+ * Paper: MorphCache +25.6% over (16:1:1), +30.4% over (1:1:16),
+ * +12.3% over (4:4:1), +7.5% over (8:2:1), +8.5% over (1:16:1);
+ * facesim, ferret, freqmine and x264 (high spatial sigma) benefit
+ * most.
+ */
+
+#include "common.hh"
+
+using namespace morphcache;
+using namespace morphcache::bench;
+
+int
+main()
+{
+    HierarchyParams hier = experimentHierarchy(16);
+    hier.coherence = true;
+    const GeneratorParams gen = generatorFor(hier);
+    const SimParams sim = defaultSim();
+    const auto topologies = paperStaticTopologies();
+
+    std::printf("Figure 16: PARSEC performance (1/exec-time) "
+                "normalized to (16:1:1)\n");
+    std::printf("%-14s", "app");
+    for (const auto &topo : topologies)
+        std::printf(" %9s", topo.name().c_str());
+    std::printf(" %9s\n", "morph");
+
+    std::vector<double> sums(topologies.size() + 1, 0.0);
+    for (const auto &profile : parsecProfiles()) {
+        std::printf("%-14s", profile.name);
+        double base = 0.0;
+        std::size_t col = 0;
+        for (const auto &topo : topologies) {
+            MultithreadedWorkload workload(profile, 16, gen,
+                                           baseSeed());
+            StaticTopologySystem system(hier, topo);
+            Simulation simulation(system, workload, sim);
+            const double perf = simulation.run().performance;
+            if (base == 0.0)
+                base = perf;
+            std::printf(" %9.3f", perf / base);
+            sums[col++] += perf / base;
+        }
+        MultithreadedWorkload workload(profile, 16, gen, baseSeed());
+        MorphConfig config;
+        config.sharedAddressSpace = true;
+        MorphCacheSystem system(hier, config);
+        Simulation simulation(system, workload, sim);
+        const double perf = simulation.run().performance;
+        std::printf(" %9.3f\n", perf / base);
+        sums[col] += perf / base;
+    }
+    std::printf("%-14s", "AVG");
+    for (double s : sums)
+        std::printf(" %9.3f", s / parsecProfiles().size());
+    std::printf("\n\npaper averages: 1.000 / 0.96 / 1.12 / 1.17 / "
+                "1.16 / 1.256\n");
+    return 0;
+}

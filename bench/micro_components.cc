@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot components: slice
+ * probes, group lookups, ACFV updates, arbiter cycles, and
+ * generator throughput. These are engineering benchmarks for the
+ * simulator itself (the paper experiments live in the other bench
+ * binaries).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "acf/acfv.hh"
+#include "hierarchy/cache_level.hh"
+#include "hierarchy/hierarchy.hh"
+#include "interconnect/arbiter.hh"
+#include "workload/generator.hh"
+
+using namespace morphcache;
+
+namespace {
+
+void
+BM_SliceProbe(benchmark::State &state)
+{
+    CacheSlice slice(0, CacheGeometry{256 * 1024, 8, 64});
+    for (Addr line = 0; line < 4096; ++line) {
+        const auto set = slice.setIndex(line);
+        slice.fill(set, slice.victimWay(set), line, false, line);
+    }
+    Addr line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(slice.probe(line));
+        line = (line + 97) % 8192;
+    }
+}
+BENCHMARK(BM_SliceProbe);
+
+void
+BM_GroupLookup(benchmark::State &state)
+{
+    LevelParams params;
+    params.numSlices = 16;
+    params.sliceGeom = CacheGeometry{256 * 1024, 8, 64};
+    CacheLevelModel level(params);
+    level.configure(allShared(16)); // worst case: 128-way probe
+    for (Addr line = 0; line < 32768; ++line)
+        level.insert(static_cast<CoreId>(line % 16), line, false);
+    Addr line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(level.lookup(0, line, 0));
+        line = (line + 97) % 65536;
+    }
+}
+BENCHMARK(BM_GroupLookup);
+
+void
+BM_AcfvUpdate(benchmark::State &state)
+{
+    Acfv vec(128, HashKind::Xor);
+    Addr line = 0;
+    for (auto _ : state) {
+        vec.set(line);
+        line += 31;
+        benchmark::DoNotOptimize(vec);
+    }
+}
+BENCHMARK(BM_AcfvUpdate);
+
+void
+BM_ArbiterTreeCycle(benchmark::State &state)
+{
+    ArbiterTree tree(16);
+    tree.configure(std::vector<std::uint32_t>(16, 0));
+    std::vector<bool> req(16, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tree.arbitrate(req));
+}
+BENCHMARK(BM_ArbiterTreeCycle);
+
+void
+BM_GeneratorNext(benchmark::State &state)
+{
+    GeneratorParams params;
+    CoreRefGenerator gen(profileByName("gcc"), 0, params, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_GeneratorNext);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    Hierarchy hierarchy(HierarchyParams::defaultParams(16));
+    GeneratorParams params;
+    CoreRefGenerator gen(profileByName("gcc"), 0, params, 7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const auto result = hierarchy.access(gen.next(), now);
+        now += result.latency;
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

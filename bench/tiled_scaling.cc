@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Future work (paper Section 5.5): tile-based scaling beyond 16
+ * cores.
+ *
+ * A 32-core CMP runs a 32-application workload (two Table 5 mixes
+ * side by side) three ways: as one flat 32-slice MorphCache, as
+ * two independent 16-core MorphCache tiles, and under flat static
+ * topologies. The paper's argument: the segmented bus does not
+ * scale past ~16 slices, so larger chips should compose MorphCache
+ * tiles behind a scalable network, scheduling sharing threads
+ * within a tile.
+ */
+
+#include "common.hh"
+
+#include "sim/tiled.hh"
+
+using namespace morphcache;
+using namespace morphcache::bench;
+
+namespace {
+
+MixSpec
+doubleMix(const char *a, const char *b)
+{
+    MixSpec spec = mixByName(a);
+    const MixSpec &second = mixByName(b);
+    spec.benchmarks.insert(spec.benchmarks.end(),
+                           second.benchmarks.begin(),
+                           second.benchmarks.end());
+    spec.name = "MIX 05+09";
+    return spec;
+}
+
+} // namespace
+
+int
+main()
+{
+    const HierarchyParams tile16 = experimentHierarchy(16);
+    const HierarchyParams flat32 = experimentHierarchy(32);
+    const GeneratorParams gen = generatorFor(tile16);
+    SimParams sim = defaultSim();
+
+    const MixSpec mix = doubleMix("MIX 05", "MIX 09");
+
+    std::printf("Section 5.5 (future work): 32 cores, two mixes "
+                "side by side\n");
+    std::printf("%-24s %12s %16s\n", "scheme", "throughput",
+                "reconfigs");
+
+    double flat_private = 0.0;
+    for (auto [x, y, z] :
+         {std::tuple{32, 1, 1}, {1, 1, 32}, {4, 4, 2}}) {
+        MixWorkload workload(mix, gen, baseSeed());
+        StaticTopologySystem system(
+            flat32,
+            Topology::symmetric(32, static_cast<std::uint32_t>(x),
+                                static_cast<std::uint32_t>(y),
+                                static_cast<std::uint32_t>(z)));
+        Simulation simulation(system, workload, sim);
+        const double tput = simulation.run().avgThroughput;
+        if (flat_private == 0.0)
+            flat_private = tput; // first row is the normalizer
+        std::printf("%-24s %12.3f %16s\n", system.name().c_str(),
+                    tput, "-");
+    }
+    {
+        MixWorkload workload(mix, gen, baseSeed());
+        MorphCacheSystem system(flat32, MorphConfig{});
+        Simulation simulation(system, workload, sim);
+        const double tput = simulation.run().avgThroughput;
+        std::printf("%-24s %12.3f %16llu\n", "MorphCache(flat 32)",
+                    tput,
+                    static_cast<unsigned long long>(
+                        system.controller()
+                            .stats()
+                            .reconfigurations()));
+    }
+    {
+        MixWorkload workload(mix, gen, baseSeed());
+        TiledMorphSystem system(tile16, MorphConfig{}, 2);
+        Simulation simulation(system, workload, sim);
+        const double tput = simulation.run().avgThroughput;
+        std::printf("%-24s %12.3f %16llu\n",
+                    system.name().c_str(), tput,
+                    static_cast<unsigned long long>(
+                        system.totalReconfigurations()));
+    }
+    std::printf("\npaper: beyond 16 cores, compose MorphCache "
+                "tiles behind a scalable network rather than "
+                "stretching one segmented bus across the chip\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: run one SPEC mix under MorphCache and under the
+ * all-shared static baseline, print the throughput improvement.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "sim/config.hh"
+#include "sim/simulation.hh"
+#include "workload/generator.hh"
+
+using namespace morphcache;
+
+int
+main()
+{
+    const HierarchyParams hier = experimentHierarchy(16);
+    SimParams sim;
+    sim.epochs = 10;
+    sim.warmupEpochs = 2;
+
+    const GeneratorParams gen = generatorFor(hier);
+
+    // --- Static all-shared baseline: the (16:1:1) topology -------
+    MixWorkload baseline_wl(mixByName("MIX 08"), gen, /*seed=*/42);
+    StaticTopologySystem baseline(hier,
+                                  Topology::symmetric(16, 16, 1, 1));
+    Simulation baseline_sim(baseline, baseline_wl, sim);
+    const RunResult base = baseline_sim.run();
+
+    // --- MorphCache -----------------------------------------------
+    MixWorkload morph_wl(mixByName("MIX 08"), gen, /*seed=*/42);
+    MorphCacheSystem morph(hier, MorphConfig{});
+    Simulation morph_sim(morph, morph_wl, sim);
+    const RunResult result = morph_sim.run();
+
+    std::printf("workload            : MIX 08 (16 single-threaded "
+                "SPEC applications)\n");
+    std::printf("baseline (16:1:1)   : throughput %.3f IPC\n",
+                base.avgThroughput);
+    std::printf("MorphCache          : throughput %.3f IPC\n",
+                result.avgThroughput);
+    std::printf("improvement         : %+.1f%%\n",
+                100.0 * (result.avgThroughput / base.avgThroughput -
+                         1.0));
+    std::printf("final topology      : %s\n",
+                morph.hierarchy().topology().name().c_str());
+    std::printf("reconfigurations    : %llu merges, %llu splits\n",
+                static_cast<unsigned long long>(
+                    morph.controller().stats().merges),
+                static_cast<unsigned long long>(
+                    morph.controller().stats().splits));
+    return 0;
+}

@@ -1,0 +1,83 @@
+#include "acf/acfv.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+Acfv::Acfv(std::uint32_t num_bits, HashKind kind)
+    : numBits_(num_bits), kind_(kind),
+      words_((num_bits + 63) / 64, 0)
+{
+    MC_ASSERT(num_bits >= 2 && isPowerOf2(num_bits));
+}
+
+void
+Acfv::set(Addr line_addr)
+{
+    const std::uint32_t i = hashTag(kind_, line_addr, numBits_);
+    words_[i / 64] |= (1ULL << (i % 64));
+}
+
+void
+Acfv::clear(Addr line_addr)
+{
+    const std::uint32_t i = hashTag(kind_, line_addr, numBits_);
+    words_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+void
+Acfv::resetAll()
+{
+    for (auto &word : words_)
+        word = 0;
+}
+
+std::uint32_t
+Acfv::popcount() const
+{
+    std::uint32_t count = 0;
+    for (auto word : words_)
+        count += static_cast<std::uint32_t>(std::popcount(word));
+    return count;
+}
+
+bool
+Acfv::test(std::uint32_t i) const
+{
+    MC_ASSERT(i < numBits_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+std::uint32_t
+Acfv::commonOnes(const Acfv &a, const Acfv &b)
+{
+    MC_ASSERT(a.numBits_ == b.numBits_);
+    std::uint32_t count = 0;
+    for (std::size_t w = 0; w < a.words_.size(); ++w) {
+        count += static_cast<std::uint32_t>(
+            std::popcount(a.words_[w] & b.words_[w]));
+    }
+    return count;
+}
+
+void
+OracleAcf::set(Addr line_addr)
+{
+    lines_.insert(line_addr);
+}
+
+void
+OracleAcf::clear(Addr line_addr)
+{
+    lines_.erase(line_addr);
+}
+
+void
+OracleAcf::resetAll()
+{
+    lines_.clear();
+}
+
+} // namespace morphcache

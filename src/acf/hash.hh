@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hardware tag hash functions for ACFV indexing (paper Section 2.1,
+ * Figure 5). Two families are evaluated in the paper: an XOR-fold
+ * hash and a modulo hash, both cheap to realize in hardware
+ * (Ramakrishna et al. [22]).
+ */
+
+#ifndef MORPHCACHE_ACF_HASH_HH
+#define MORPHCACHE_ACF_HASH_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace morphcache {
+
+/** Hash family used to index an ACFV. */
+enum class HashKind : std::uint8_t {
+    /** XOR-fold the tag into log2(buckets) bits. */
+    Xor,
+    /** tag mod buckets. */
+    Modulo,
+    /**
+     * Fibonacci (multiplicative) hash: top bits of tag * 2^64/phi.
+     * One multiplier in hardware — squarely in the efficient-hash
+     * family of Ramakrishna et al. [22] the paper points to. Two
+     * properties make it the operating default: consecutive tags
+     * spread to distinct buckets (the three-distance theorem), so
+     * |ACFV| stays linear in a region-structured footprint, and
+     * the base address of a region fully mixes into the bucket
+     * index, so unrelated regions decorrelate (which the plain
+     * XOR fold cannot do: it reduces any aligned base to a
+     * constant and two folded intervals overlap as sets).
+     */
+    Fibonacci,
+};
+
+/**
+ * Maps a cache tag to a bit index in [0, buckets).
+ *
+ * @param kind Hash family.
+ * @param tag Cache tag (or line address; any stable line key).
+ * @param buckets ACFV length in bits (power of two).
+ */
+inline std::uint32_t
+hashTag(HashKind kind, Addr tag, std::uint32_t buckets)
+{
+    const unsigned bits = exactLog2(buckets);
+    switch (kind) {
+      case HashKind::Xor: {
+        // Fold the 64-bit tag into `bits` bits by XORing chunks.
+        std::uint64_t folded = 0;
+        for (unsigned lo = 0; lo < 64; lo += bits)
+            folded ^= (tag >> lo);
+        return static_cast<std::uint32_t>(folded & (buckets - 1));
+      }
+      case HashKind::Fibonacci:
+        return static_cast<std::uint32_t>(
+            (tag * 0x9e3779b97f4a7c15ULL) >> (64 - bits));
+      case HashKind::Modulo:
+      default:
+        return static_cast<std::uint32_t>(tag & (buckets - 1));
+    }
+}
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_ACF_HASH_HH

@@ -1,0 +1,168 @@
+#include "baselines/dsr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+DsrPolicy::DsrPolicy(std::uint32_t num_slices, std::uint64_t num_sets,
+                     std::uint64_t leader_period)
+    : numSlices_(num_slices), numSets_(num_sets),
+      leaderPeriod_(leader_period), psel_(num_slices, 0)
+{
+    MC_ASSERT(num_slices >= 2);
+    MC_ASSERT(leader_period >= 2 * num_slices);
+    MC_ASSERT(num_sets >= leader_period);
+}
+
+DsrPolicy::SetRole
+DsrPolicy::roleOf(SliceId slice, std::uint64_t set) const
+{
+    // Within every leader period, slice s owns two leader sets:
+    // one pinned always-spill, one pinned never-spill. Offsetting
+    // by the slice id spreads leaders across distinct sets.
+    const std::uint64_t phase = set % leaderPeriod_;
+    if (phase == 2ull * slice)
+        return SetRole::SpillLeader;
+    if (phase == 2ull * slice + 1)
+        return SetRole::ReceiveLeader;
+    return SetRole::Follower;
+}
+
+bool
+DsrPolicy::isSpiller(SliceId slice, std::uint64_t set) const
+{
+    switch (roleOf(slice, set)) {
+      case SetRole::SpillLeader:
+        return true;
+      case SetRole::ReceiveLeader:
+        return false;
+      case SetRole::Follower:
+      default:
+        // Negative PSEL: the spill-leader sets missed less, so
+        // spilling is the better policy for this cache.
+        return psel_[slice] < 0;
+    }
+}
+
+int
+DsrPolicy::psel(SliceId slice) const
+{
+    MC_ASSERT(slice < numSlices_);
+    return psel_[slice];
+}
+
+void
+DsrPolicy::miss(CacheLevelModel &level, CoreId core, Addr line_addr)
+{
+    (void)level;
+    // Misses in leader sets steer the dueling counter: a miss under
+    // the always-spill leader charges the spill policy, a miss
+    // under the never-spill leader charges the keep policy.
+    const std::uint64_t set = line_addr & (numSets_ - 1);
+    switch (roleOf(core, set)) {
+      case SetRole::SpillLeader:
+        psel_[core] = std::min(psel_[core] + 1, pselMax);
+        break;
+      case SetRole::ReceiveLeader:
+        psel_[core] = std::max(psel_[core] - 1, -pselMax);
+        break;
+      case SetRole::Follower:
+        break;
+    }
+}
+
+bool
+DsrPolicy::insert(CacheLevelModel &level, CoreId core, Addr line_addr,
+                  bool dirty, InsertOutcome &out)
+{
+    // DSR always installs into the owner's private slice.
+    out = level.insertIntoSlice(core, static_cast<SliceId>(core),
+                                line_addr, dirty);
+    if (!out.evicted.valid)
+        return true;
+
+    const std::uint64_t set = line_addr & (numSets_ - 1);
+    if (!isSpiller(static_cast<SliceId>(core), set))
+        return true;
+
+    // Spill the victim into the next receiver slice (round-robin).
+    for (std::uint32_t probe = 1; probe < numSlices_; ++probe) {
+        const auto candidate = static_cast<SliceId>(
+            (core + rotor_ + probe) % numSlices_);
+        if (candidate == core)
+            continue;
+        if (isSpiller(candidate, set))
+            continue;
+        const InsertOutcome spill = level.insertIntoSlice(
+            core, candidate, out.evicted.lineAddr, out.evicted.dirty);
+        rotor_ = (rotor_ + probe) % numSlices_;
+        ++spills_;
+        // The spilled line stays at this level; what leaves is the
+        // receiver's victim.
+        out.evicted = spill.evicted;
+        out.evictedFrom = spill.evictedFrom;
+        return true;
+    }
+    return true; // no receiver available: plain eviction
+}
+
+namespace {
+
+HierarchyParams
+snoopingPrivate(HierarchyParams params)
+{
+    // DSR's snoop fabric is not the MorphCache segmented bus: a
+    // local miss broadcasts over the existing coherence network.
+    // Charge remote (snooped) hits a fixed penalty equal to the
+    // merged-hit premium, without the segmented-bus serialization.
+    params.l2.chargeBusPenalty = false;
+    params.l3.chargeBusPenalty = false;
+    params.l2.remoteHitExtraCycles = 15;
+    params.l3.remoteHitExtraCycles = 15;
+    // Like PIPP, DSR's original evaluation is not inclusion-
+    // enforced; spills would otherwise trigger back-invalidations.
+    params.inclusive = false;
+    return params;
+}
+
+} // namespace
+
+DsrSystem::DsrSystem(HierarchyParams params)
+    : hierarchy_(snoopingPrivate(std::move(params))),
+      l2Policy_(hierarchy_.numCores(),
+                hierarchy_.params().l2.sliceGeom.numSets()),
+      l3Policy_(hierarchy_.numCores(),
+                hierarchy_.params().l3.sliceGeom.numSets())
+{
+    // One lookup group per level so local misses snoop every other
+    // slice; insertion is kept private-with-spill by the hooks.
+    Topology topo;
+    topo.numCores = hierarchy_.numCores();
+    topo.l2 = allShared(hierarchy_.numCores());
+    topo.l3 = allShared(hierarchy_.numCores());
+    hierarchy_.reconfigure(topo);
+    hierarchy_.l2().setHooks(&l2Policy_);
+    hierarchy_.l3().setHooks(&l3Policy_);
+}
+
+AccessResult
+DsrSystem::access(const MemAccess &access, Cycle now)
+{
+    return hierarchy_.access(access, now);
+}
+
+const CoreStats &
+DsrSystem::coreStats(CoreId core) const
+{
+    return hierarchy_.coreStats(core);
+}
+
+std::uint32_t
+DsrSystem::numCores() const
+{
+    return hierarchy_.numCores();
+}
+
+} // namespace morphcache

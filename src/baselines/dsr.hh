@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dynamic Spill-Receive (Qureshi, HPCA 2009 [18]), extended to both
+ * private-L2 and private-L3 levels as in the paper's Figure 17
+ * comparison.
+ *
+ * Each private cache learns, via set dueling, whether it is better
+ * off as a *spiller* (its evictions are installed into another
+ * cache) or a *receiver* (it accepts spilled lines). Leader sets
+ * pin the two behaviours; a per-cache PSEL counter accumulates
+ * miss feedback and decides the follower sets. A miss in the local
+ * slice snoops the other slices before going to memory (the
+ * remote-hit path), which is how spilled lines are found again.
+ */
+
+#ifndef MORPHCACHE_BASELINES_DSR_HH
+#define MORPHCACHE_BASELINES_DSR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/cache_level.hh"
+#include "sim/memory_system.hh"
+
+namespace morphcache {
+
+/**
+ * DSR policy hooks for one cache level of private slices.
+ */
+class DsrPolicy : public LevelHooks
+{
+  public:
+    /**
+     * @param num_slices Private slices at this level.
+     * @param num_sets Sets per slice.
+     * @param leader_period Leader sets recur every this many sets
+     *        per slice (two leaders per period: one always-spill,
+     *        one never-spill).
+     */
+    DsrPolicy(std::uint32_t num_slices, std::uint64_t num_sets,
+              std::uint64_t leader_period = 64);
+
+    void miss(CacheLevelModel &level, CoreId core,
+              Addr line_addr) override;
+    bool insert(CacheLevelModel &level, CoreId core, Addr line_addr,
+                bool dirty, InsertOutcome &out) override;
+
+    /** Is slice `s` spilling for (follower) set `set`? */
+    bool isSpiller(SliceId slice, std::uint64_t set) const;
+
+    /** PSEL counter of a slice (tests). */
+    int psel(SliceId slice) const;
+
+    /** Spills performed so far. */
+    std::uint64_t numSpills() const { return spills_; }
+
+  private:
+    enum class SetRole : std::uint8_t { Follower, SpillLeader,
+                                        ReceiveLeader };
+
+    SetRole roleOf(SliceId slice, std::uint64_t set) const;
+
+    std::uint32_t numSlices_;
+    std::uint64_t numSets_;
+    std::uint64_t leaderPeriod_;
+    /** Saturating per-slice selectors; >0 favours not spilling. */
+    std::vector<int> psel_;
+    std::uint32_t rotor_ = 0;
+    std::uint64_t spills_ = 0;
+
+    static constexpr int pselMax = 1023;
+};
+
+/**
+ * The complete DSR memory system: private per-core L2 and L3
+ * slices with spill-receive capacity sharing at both levels. The
+ * slices are grouped for *lookup* (a local miss snoops the other
+ * slices, paying the interconnect penalty) while insertion stays
+ * private-with-spill, which is exactly the DSR operating model.
+ */
+class DsrSystem : public MemorySystem
+{
+  public:
+    explicit DsrSystem(HierarchyParams params);
+
+    AccessResult access(const MemAccess &access, Cycle now) override;
+    const CoreStats &coreStats(CoreId core) const override;
+    std::uint32_t numCores() const override;
+    std::string name() const override { return "DSR"; }
+
+    /** L2 policy (tests). */
+    DsrPolicy &l2Policy() { return l2Policy_; }
+
+  private:
+    Hierarchy hierarchy_;
+    DsrPolicy l2Policy_;
+    DsrPolicy l3Policy_;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_BASELINES_DSR_HH

@@ -1,0 +1,237 @@
+#include "baselines/pipp.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace morphcache {
+
+UtilityMonitor::UtilityMonitor(std::uint64_t num_sets,
+                               std::uint32_t total_ways,
+                               std::uint32_t sample_shift)
+    : numSets_(num_sets), totalWays_(total_ways),
+      sampleShift_(sample_shift),
+      stacks_(num_sets >> sample_shift),
+      hits_(total_ways, 0)
+{
+    MC_ASSERT(total_ways > 0);
+    MC_ASSERT((num_sets >> sample_shift) > 0);
+}
+
+void
+UtilityMonitor::access(Addr line_addr)
+{
+    const std::uint64_t set = line_addr & (numSets_ - 1);
+    if (set & ((1ULL << sampleShift_) - 1))
+        return; // not a sampled set
+    auto &stack = stacks_[set >> sampleShift_];
+
+    for (std::size_t pos = 0; pos < stack.size(); ++pos) {
+        if (stack[pos] == line_addr) {
+            ++hits_[pos];
+            // Move to MRU.
+            stack.erase(stack.begin() +
+                        static_cast<std::ptrdiff_t>(pos));
+            stack.insert(stack.begin(), line_addr);
+            return;
+        }
+    }
+    // ATD miss: insert at MRU, bounded by the monitored ways.
+    stack.insert(stack.begin(), line_addr);
+    if (stack.size() > totalWays_)
+        stack.pop_back();
+}
+
+std::uint64_t
+UtilityMonitor::utility(std::uint32_t ways) const
+{
+    MC_ASSERT(ways <= totalWays_);
+    std::uint64_t sum = 0;
+    for (std::uint32_t p = 0; p < ways; ++p)
+        sum += hits_[p];
+    return sum;
+}
+
+void
+UtilityMonitor::decay()
+{
+    for (auto &h : hits_)
+        h /= 2;
+}
+
+std::vector<std::uint32_t>
+lookaheadAllocate(const std::vector<UtilityMonitor> &monitors,
+                  std::uint32_t total_ways)
+{
+    const auto cores = static_cast<std::uint32_t>(monitors.size());
+    MC_ASSERT(cores > 0 && total_ways >= cores);
+    std::vector<std::uint32_t> alloc(cores, 1);
+    std::uint32_t balance = total_ways - cores;
+
+    // Prefix sums of the hit counters make utility lookups O(1).
+    std::vector<std::vector<std::uint64_t>> prefix(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        const auto &hits = monitors[c].hits();
+        prefix[c].assign(hits.size() + 1, 0);
+        for (std::size_t p = 0; p < hits.size(); ++p)
+            prefix[c][p + 1] = prefix[c][p] + hits[p];
+    }
+
+    while (balance > 0) {
+        double best_mu = -1.0;
+        std::uint32_t best_core = 0;
+        std::uint32_t best_k = 1;
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            const std::uint32_t room =
+                std::min(balance, total_ways - alloc[c]);
+            const std::uint64_t base = prefix[c][alloc[c]];
+            for (std::uint32_t k = 1; k <= room; ++k) {
+                const double mu =
+                    static_cast<double>(prefix[c][alloc[c] + k] -
+                                        base) /
+                    static_cast<double>(k);
+                if (mu > best_mu) {
+                    best_mu = mu;
+                    best_core = c;
+                    best_k = k;
+                }
+            }
+        }
+        if (best_mu <= 0.0) {
+            // No remaining utility anywhere: spread the rest evenly.
+            for (std::uint32_t c = 0; balance > 0; ++c) {
+                if (alloc[c % cores] < total_ways) {
+                    ++alloc[c % cores];
+                    --balance;
+                }
+            }
+            break;
+        }
+        alloc[best_core] += best_k;
+        balance -= best_k;
+    }
+    return alloc;
+}
+
+PippPolicy::PippPolicy(std::uint32_t num_cores, std::uint64_t num_sets,
+                       std::uint32_t total_ways,
+                       double promotion_prob, std::uint64_t seed)
+    : totalWays_(total_ways), promotionProb_(promotion_prob),
+      rng_(seed)
+{
+    monitors_.reserve(num_cores);
+    for (std::uint32_t c = 0; c < num_cores; ++c)
+        monitors_.emplace_back(num_sets, total_ways);
+    alloc_.assign(num_cores, std::max(1u, total_ways / num_cores));
+}
+
+bool
+PippPolicy::hit(CacheLevelModel &level, CoreId core, Addr line_addr,
+                SliceId slice, std::uint64_t set, std::uint32_t way)
+{
+    monitors_[core].access(line_addr);
+    if (rng_.chance(promotionProb_))
+        level.promoteByOne(slice, set, way);
+    return false; // no default move-to-MRU
+}
+
+void
+PippPolicy::miss(CacheLevelModel &level, CoreId core, Addr line_addr)
+{
+    (void)level;
+    monitors_[core].access(line_addr);
+}
+
+bool
+PippPolicy::insert(CacheLevelModel &level, CoreId core,
+                   Addr line_addr, bool dirty, InsertOutcome &out)
+{
+    const std::uint32_t position =
+        alloc_[core] > 0 ? alloc_[core] - 1 : 0;
+    out = level.insertAtStackPosition(core, line_addr, dirty,
+                                      position);
+    return true;
+}
+
+void
+PippPolicy::epochBoundary()
+{
+    alloc_ = lookaheadAllocate(monitors_, totalWays_);
+    for (auto &monitor : monitors_)
+        monitor.decay();
+}
+
+std::uint32_t
+PippPolicy::allocation(CoreId core) const
+{
+    MC_ASSERT(core < alloc_.size());
+    return alloc_[core];
+}
+
+namespace {
+
+HierarchyParams
+sharedNoBusPenalty(HierarchyParams params)
+{
+    params.l2.chargeBusPenalty = false;
+    params.l3.chargeBusPenalty = false;
+    // PIPP was proposed for non-inclusive shared LLCs; inclusion
+    // back-invalidation would punish its near-LRU insertions twice.
+    params.inclusive = false;
+    return params;
+}
+
+} // namespace
+
+PippSystem::PippSystem(HierarchyParams params, double promotion_prob,
+                       std::uint64_t seed)
+    : hierarchy_(sharedNoBusPenalty(std::move(params))),
+      l2Policy_(hierarchy_.numCores(),
+                hierarchy_.params().l2.sliceGeom.numSets(),
+                hierarchy_.params().l2.sliceGeom.assoc *
+                    hierarchy_.numCores(),
+                promotion_prob, seed),
+      l3Policy_(hierarchy_.numCores(),
+                hierarchy_.params().l3.sliceGeom.numSets(),
+                hierarchy_.params().l3.sliceGeom.assoc *
+                    hierarchy_.numCores(),
+                promotion_prob, seed ^ 0x3333)
+{
+    // PIPP partitions a single shared cache at each level: the
+    // (16:1:1) topology in the paper's notation.
+    Topology topo;
+    topo.numCores = hierarchy_.numCores();
+    topo.l2 = allShared(hierarchy_.numCores());
+    topo.l3 = allShared(hierarchy_.numCores());
+    hierarchy_.reconfigure(topo);
+    hierarchy_.l2().setHooks(&l2Policy_);
+    hierarchy_.l3().setHooks(&l3Policy_);
+}
+
+AccessResult
+PippSystem::access(const MemAccess &access, Cycle now)
+{
+    return hierarchy_.access(access, now);
+}
+
+void
+PippSystem::epochBoundary()
+{
+    l2Policy_.epochBoundary();
+    l3Policy_.epochBoundary();
+}
+
+const CoreStats &
+PippSystem::coreStats(CoreId core) const
+{
+    return hierarchy_.coreStats(core);
+}
+
+std::uint32_t
+PippSystem::numCores() const
+{
+    return hierarchy_.numCores();
+}
+
+} // namespace morphcache

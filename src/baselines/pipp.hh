@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Promotion/Insertion Pseudo-Partitioning (Xie & Loh, ISCA 2009
+ * [28]), extended to both the L2 and L3 levels as in the paper's
+ * Figure 17 comparison.
+ *
+ * PIPP manages a *shared* cache without explicit way partitioning:
+ * a UMON-style utility monitor per core learns each core's
+ * hit-vs-ways curve on sampled sets through an auxiliary tag
+ * directory; a UCP lookahead allocation converts the curves into
+ * per-core target allocations pi_i; core i then *inserts* new
+ * lines at LRU-stack position pi_i and *promotes* hits by a single
+ * stack position with probability p_prom, so cores implicitly
+ * converge toward their allocations.
+ */
+
+#ifndef MORPHCACHE_BASELINES_PIPP_HH
+#define MORPHCACHE_BASELINES_PIPP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "hierarchy/cache_level.hh"
+#include "sim/memory_system.hh"
+
+namespace morphcache {
+
+/**
+ * Per-core utility monitor: an auxiliary tag directory over sampled
+ * sets modelling "this core owns the whole cache", with hit
+ * counters per LRU-stack position.
+ */
+class UtilityMonitor
+{
+  public:
+    /**
+     * @param num_sets Sets of the monitored (whole-group) cache.
+     * @param total_ways Combined ways of the group.
+     * @param sample_shift Sample every 2^sample_shift-th set.
+     */
+    UtilityMonitor(std::uint64_t num_sets, std::uint32_t total_ways,
+                   std::uint32_t sample_shift = 5);
+
+    /** Feed one access (hit or miss in the real cache). */
+    void access(Addr line_addr);
+
+    /** Hits observed at each stack position (0 = MRU). */
+    const std::vector<std::uint64_t> &hits() const { return hits_; }
+
+    /** Cumulative utility of owning `ways` ways. */
+    std::uint64_t utility(std::uint32_t ways) const;
+
+    /** Epoch decay: halve all counters. */
+    void decay();
+
+  private:
+    std::uint64_t numSets_;
+    std::uint32_t totalWays_;
+    std::uint32_t sampleShift_;
+    /** ATD stacks, MRU at front; one per sampled set. */
+    std::vector<std::vector<Addr>> stacks_;
+    std::vector<std::uint64_t> hits_;
+};
+
+/**
+ * UCP lookahead allocation: distribute `total_ways` among cores to
+ * maximize monitored utility, each core receiving at least one way.
+ */
+std::vector<std::uint32_t>
+lookaheadAllocate(const std::vector<UtilityMonitor> &monitors,
+                  std::uint32_t total_ways);
+
+/**
+ * PIPP policy hooks for one cache level.
+ */
+class PippPolicy : public LevelHooks
+{
+  public:
+    /**
+     * @param num_cores Cores sharing the level.
+     * @param num_sets Sets per slice.
+     * @param total_ways Combined group ways.
+     * @param promotion_prob Single-step promotion probability
+     *        (paper value 3/4).
+     * @param seed Deterministic seed for the promotion coin.
+     */
+    PippPolicy(std::uint32_t num_cores, std::uint64_t num_sets,
+               std::uint32_t total_ways, double promotion_prob,
+               std::uint64_t seed);
+
+    bool hit(CacheLevelModel &level, CoreId core, Addr line_addr,
+             SliceId slice, std::uint64_t set,
+             std::uint32_t way) override;
+    void miss(CacheLevelModel &level, CoreId core,
+              Addr line_addr) override;
+    bool insert(CacheLevelModel &level, CoreId core, Addr line_addr,
+                bool dirty, InsertOutcome &out) override;
+
+    /** Recompute allocations from the monitors (epoch boundary). */
+    void epochBoundary();
+
+    /** Current allocation of one core (tests). */
+    std::uint32_t allocation(CoreId core) const;
+
+  private:
+    std::uint32_t totalWays_;
+    double promotionProb_;
+    Rng rng_;
+    std::vector<UtilityMonitor> monitors_;
+    std::vector<std::uint32_t> alloc_;
+};
+
+/**
+ * The complete PIPP memory system: all-shared L2 and L3 (16:1:1)
+ * managed by PIPP at both levels.
+ */
+class PippSystem : public MemorySystem
+{
+  public:
+    /**
+     * @param params Hierarchy parameters (bus penalty forced off:
+     *        PIPP is evaluated as a conventional shared-cache
+     *        design with the fixed static latencies of Section 4).
+     * @param promotion_prob Promotion probability.
+     * @param seed Deterministic seed.
+     */
+    explicit PippSystem(HierarchyParams params,
+                        double promotion_prob = 0.75,
+                        std::uint64_t seed = 0x9199);
+
+    AccessResult access(const MemAccess &access, Cycle now) override;
+    void epochBoundary() override;
+    const CoreStats &coreStats(CoreId core) const override;
+    std::uint32_t numCores() const override;
+    std::string name() const override { return "PIPP"; }
+
+    /** L2 policy (tests). */
+    PippPolicy &l2Policy() { return l2Policy_; }
+
+  private:
+    Hierarchy hierarchy_;
+    PippPolicy l2Policy_;
+    PippPolicy l3Policy_;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_BASELINES_PIPP_HH

@@ -1,0 +1,217 @@
+#include "baselines/ucp.hh"
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+UcpPolicy::UcpPolicy(std::uint32_t num_cores, std::uint64_t num_sets,
+                     std::uint32_t num_slices, std::uint32_t assoc)
+    : numCores_(num_cores), numSets_(num_sets),
+      numSlices_(num_slices), assoc_(assoc),
+      quota_(num_cores,
+             std::max(1u, num_slices * assoc / num_cores)),
+      owner_(std::size_t{num_slices} * num_sets * assoc, invalidCore)
+{
+    monitors_.reserve(num_cores);
+    for (std::uint32_t c = 0; c < num_cores; ++c)
+        monitors_.emplace_back(num_sets, num_slices * assoc);
+}
+
+std::size_t
+UcpPolicy::ownerIndex(SliceId slice, std::uint64_t set,
+                      std::uint32_t way) const
+{
+    return (std::size_t{slice} * numSets_ + set) * assoc_ + way;
+}
+
+bool
+UcpPolicy::hit(CacheLevelModel &level, CoreId core, Addr line_addr,
+               SliceId slice, std::uint64_t set, std::uint32_t way)
+{
+    (void)level;
+    (void)slice;
+    (void)set;
+    (void)way;
+    monitors_[core].access(line_addr);
+    return true; // standard move-to-MRU
+}
+
+void
+UcpPolicy::miss(CacheLevelModel &level, CoreId core, Addr line_addr)
+{
+    (void)level;
+    monitors_[core].access(line_addr);
+}
+
+bool
+UcpPolicy::insert(CacheLevelModel &level, CoreId core, Addr line_addr,
+                  bool dirty, InsertOutcome &out)
+{
+    const std::uint64_t set = level.slice(0).setIndex(line_addr);
+
+    // Survey the set: invalid ways, per-core owned counts, and the
+    // LRU line per ownership class.
+    SliceId invalid_slice = invalidSlice;
+    std::uint32_t invalid_way = 0;
+    std::vector<std::uint32_t> owned(numCores_, 0);
+
+    SliceId own_lru_slice = invalidSlice;
+    std::uint32_t own_lru_way = 0;
+    std::uint64_t own_lru_stamp = ~std::uint64_t{0};
+
+    for (std::uint32_t s = 0; s < numSlices_ && invalid_slice ==
+                                                    invalidSlice;
+         ++s) {
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            const CacheLine &line =
+                level.slice(static_cast<SliceId>(s)).lineAt(set, w);
+            if (!line.valid) {
+                invalid_slice = static_cast<SliceId>(s);
+                invalid_way = w;
+                break;
+            }
+            const CoreId who = owner_[ownerIndex(
+                static_cast<SliceId>(s), set, w)];
+            if (who < numCores_) {
+                ++owned[who];
+                if (who == core && line.stamp < own_lru_stamp) {
+                    own_lru_stamp = line.stamp;
+                    own_lru_slice = static_cast<SliceId>(s);
+                    own_lru_way = w;
+                }
+            }
+        }
+    }
+
+    SliceId target;
+    std::uint32_t target_way;
+    if (invalid_slice != invalidSlice) {
+        target = invalid_slice;
+        target_way = invalid_way;
+    } else if (owned[core] >= quota_[core] &&
+               own_lru_slice != invalidSlice) {
+        // At quota: replace own LRU line.
+        target = own_lru_slice;
+        target_way = own_lru_way;
+    } else {
+        // Under quota: take the LRU line of an over-quota core
+        // (global LRU as the fallback).
+        SliceId lru_slice = invalidSlice;
+        std::uint32_t lru_way = 0;
+        std::uint64_t lru_stamp = ~std::uint64_t{0};
+        SliceId over_slice = invalidSlice;
+        std::uint32_t over_way = 0;
+        std::uint64_t over_stamp = ~std::uint64_t{0};
+        for (std::uint32_t s = 0; s < numSlices_; ++s) {
+            for (std::uint32_t w = 0; w < assoc_; ++w) {
+                const CacheLine &line =
+                    level.slice(static_cast<SliceId>(s))
+                        .lineAt(set, w);
+                if (!line.valid)
+                    continue;
+                if (line.stamp < lru_stamp) {
+                    lru_stamp = line.stamp;
+                    lru_slice = static_cast<SliceId>(s);
+                    lru_way = w;
+                }
+                const CoreId who = owner_[ownerIndex(
+                    static_cast<SliceId>(s), set, w)];
+                if (who < numCores_ && owned[who] > quota_[who] &&
+                    line.stamp < over_stamp) {
+                    over_stamp = line.stamp;
+                    over_slice = static_cast<SliceId>(s);
+                    over_way = w;
+                }
+            }
+        }
+        if (over_slice != invalidSlice) {
+            target = over_slice;
+            target_way = over_way;
+        } else {
+            MC_ASSERT(lru_slice != invalidSlice);
+            target = lru_slice;
+            target_way = lru_way;
+        }
+    }
+
+    out = level.fillAt(core, target, target_way, line_addr, dirty);
+    owner_[ownerIndex(target, set, target_way)] = core;
+    return true;
+}
+
+void
+UcpPolicy::epochBoundary()
+{
+    quota_ = lookaheadAllocate(monitors_, numSlices_ * assoc_);
+    for (auto &monitor : monitors_)
+        monitor.decay();
+}
+
+std::uint32_t
+UcpPolicy::quota(CoreId core) const
+{
+    MC_ASSERT(core < quota_.size());
+    return quota_[core];
+}
+
+namespace {
+
+HierarchyParams
+sharedUcp(HierarchyParams params)
+{
+    params.l2.chargeBusPenalty = false;
+    params.l3.chargeBusPenalty = false;
+    // Like PIPP: evaluated as a conventional shared-cache design,
+    // non-inclusive as originally proposed.
+    params.inclusive = false;
+    return params;
+}
+
+} // namespace
+
+UcpSystem::UcpSystem(HierarchyParams params)
+    : hierarchy_(sharedUcp(std::move(params))),
+      l2Policy_(hierarchy_.numCores(),
+                hierarchy_.params().l2.sliceGeom.numSets(),
+                hierarchy_.numCores(),
+                hierarchy_.params().l2.sliceGeom.assoc),
+      l3Policy_(hierarchy_.numCores(),
+                hierarchy_.params().l3.sliceGeom.numSets(),
+                hierarchy_.numCores(),
+                hierarchy_.params().l3.sliceGeom.assoc)
+{
+    Topology topo;
+    topo.numCores = hierarchy_.numCores();
+    topo.l2 = allShared(hierarchy_.numCores());
+    topo.l3 = allShared(hierarchy_.numCores());
+    hierarchy_.reconfigure(topo);
+    hierarchy_.l2().setHooks(&l2Policy_);
+    hierarchy_.l3().setHooks(&l3Policy_);
+}
+
+AccessResult
+UcpSystem::access(const MemAccess &access, Cycle now)
+{
+    return hierarchy_.access(access, now);
+}
+
+void
+UcpSystem::epochBoundary()
+{
+    l2Policy_.epochBoundary();
+    l3Policy_.epochBoundary();
+}
+
+const CoreStats &
+UcpSystem::coreStats(CoreId core) const
+{
+    return hierarchy_.coreStats(core);
+}
+
+std::uint32_t
+UcpSystem::numCores() const
+{
+    return hierarchy_.numCores();
+}
+
+} // namespace morphcache

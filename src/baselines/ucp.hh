@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Utility-based Cache Partitioning (Qureshi & Patt, MICRO 2006
+ * [20]), extended to both shared levels like the paper's other
+ * single-level baselines.
+ *
+ * UCP partitions the ways of a shared cache explicitly: the same
+ * UMON monitors PIPP uses produce per-core utility curves, the
+ * lookahead algorithm assigns way quotas, and replacement is
+ * constrained to enforce them — a core over its quota must victim
+ * one of its *own* lines. Where PIPP approximates the partition
+ * through insertion positions, UCP enforces it exactly, which is
+ * the contrast the paper's related-work discussion draws.
+ */
+
+#ifndef MORPHCACHE_BASELINES_UCP_HH
+#define MORPHCACHE_BASELINES_UCP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/pipp.hh"
+#include "hierarchy/cache_level.hh"
+#include "sim/memory_system.hh"
+
+namespace morphcache {
+
+/**
+ * UCP policy hooks for one shared cache level.
+ *
+ * Ownership is tracked per line (by the inserting core) in a
+ * sidecar table so quotas can be enforced; hardware UCP keeps the
+ * same information in per-line owner bits.
+ */
+class UcpPolicy : public LevelHooks
+{
+  public:
+    /**
+     * @param num_cores Cores sharing the level.
+     * @param num_sets Sets per slice.
+     * @param num_slices Slices in the shared group.
+     * @param assoc Ways per slice.
+     */
+    UcpPolicy(std::uint32_t num_cores, std::uint64_t num_sets,
+              std::uint32_t num_slices, std::uint32_t assoc);
+
+    bool hit(CacheLevelModel &level, CoreId core, Addr line_addr,
+             SliceId slice, std::uint64_t set,
+             std::uint32_t way) override;
+    void miss(CacheLevelModel &level, CoreId core,
+              Addr line_addr) override;
+    bool insert(CacheLevelModel &level, CoreId core, Addr line_addr,
+                bool dirty, InsertOutcome &out) override;
+
+    /** Recompute quotas from the monitors (epoch boundary). */
+    void epochBoundary();
+
+    /** Current quota of one core. */
+    std::uint32_t quota(CoreId core) const;
+
+  private:
+    /** Sidecar index of (slice, set, way). */
+    std::size_t ownerIndex(SliceId slice, std::uint64_t set,
+                           std::uint32_t way) const;
+
+    std::uint32_t numCores_;
+    std::uint64_t numSets_;
+    std::uint32_t numSlices_;
+    std::uint32_t assoc_;
+    std::vector<UtilityMonitor> monitors_;
+    std::vector<std::uint32_t> quota_;
+    /** Owner core of each (slice, set, way); invalidCore if none. */
+    std::vector<CoreId> owner_;
+};
+
+/**
+ * The complete UCP memory system: all-shared L2 and L3 with exact
+ * way partitioning at both levels.
+ */
+class UcpSystem : public MemorySystem
+{
+  public:
+    explicit UcpSystem(HierarchyParams params);
+
+    AccessResult access(const MemAccess &access, Cycle now) override;
+    void epochBoundary() override;
+    const CoreStats &coreStats(CoreId core) const override;
+    std::uint32_t numCores() const override;
+    std::string name() const override { return "UCP"; }
+
+    /** L2 policy (tests). */
+    UcpPolicy &l2Policy() { return l2Policy_; }
+
+  private:
+    Hierarchy hierarchy_;
+    UcpPolicy l2Policy_;
+    UcpPolicy l3Policy_;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_BASELINES_UCP_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small integer/bit helpers used across the cache model.
+ */
+
+#ifndef MORPHCACHE_COMMON_BITOPS_HH
+#define MORPHCACHE_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+/** True iff x is a nonzero power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); x must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** log2(x) for an exact power of two. */
+inline unsigned
+exactLog2(std::uint64_t x)
+{
+    MC_ASSERT(isPowerOf2(x));
+    return floorLog2(x);
+}
+
+/** Extract bits [lo, lo+n) of x. */
+constexpr std::uint64_t
+bits(std::uint64_t x, unsigned lo, unsigned n)
+{
+    return (x >> lo) & ((n >= 64) ? ~0ULL : ((1ULL << n) - 1));
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_COMMON_BITOPS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 tradition.
+ *
+ * panic()  - an internal invariant of the simulator was violated;
+ *            aborts so the failure can be debugged.
+ * fatal()  - the *user* supplied an impossible configuration; exits
+ *            with an error code.
+ * warn()   - something questionable happened but simulation can
+ *            continue.
+ * inform() - plain status output.
+ */
+
+#ifndef MORPHCACHE_COMMON_LOGGING_HH
+#define MORPHCACHE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace morphcache {
+
+/** Print "panic: <msg>" to stderr and abort(). */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Print "fatal: <msg>" to stderr and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print "warn: <msg>" to stderr. */
+void warn(const char *fmt, ...);
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...);
+
+/**
+ * Assert a simulator invariant.
+ *
+ * Unlike the C assert macro this stays active in release builds; the
+ * simulator is cheap enough that correctness checks are always worth
+ * their cost.
+ */
+#define MC_ASSERT(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::morphcache::panic("assertion '%s' failed at %s:%d",       \
+                                #cond, __FILE__, __LINE__);             \
+        }                                                               \
+    } while (0)
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_COMMON_LOGGING_HH

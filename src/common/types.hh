@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every MorphCache library.
+ *
+ * The simulator models a 16-core CMP with a three-level cache
+ * hierarchy, so the vocabulary here is deliberately small: physical
+ * addresses, cycle counts, and small dense identifiers for cores,
+ * cache slices, and cache levels.
+ */
+
+#ifndef MORPHCACHE_COMMON_TYPES_HH
+#define MORPHCACHE_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace morphcache {
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** Simulated instruction count. */
+using InstCount = std::uint64_t;
+
+/** Dense core identifier, 0-based. */
+using CoreId = std::uint16_t;
+
+/** Dense cache-slice identifier within one level, 0-based. */
+using SliceId = std::uint16_t;
+
+/** Epoch (reconfiguration interval) ordinal. */
+using EpochId = std::uint32_t;
+
+/** Sentinel for "no core". */
+inline constexpr CoreId invalidCore = std::numeric_limits<CoreId>::max();
+
+/** Sentinel for "no slice". */
+inline constexpr SliceId invalidSlice =
+    std::numeric_limits<SliceId>::max();
+
+/** Cache levels in the modelled hierarchy. */
+enum class CacheLevel : std::uint8_t { L1 = 1, L2 = 2, L3 = 3 };
+
+/** Kind of a memory reference. */
+enum class AccessType : std::uint8_t { Read, Write };
+
+/**
+ * A single memory reference issued by a core.
+ *
+ * This is the unit of work the trace generators produce and the
+ * hierarchy consumes.
+ */
+struct MemAccess
+{
+    /** Core issuing the reference. */
+    CoreId core = 0;
+    /** Physical byte address. */
+    Addr addr = 0;
+    /** Read or write. */
+    AccessType type = AccessType::Read;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_COMMON_TYPES_HH

@@ -1,0 +1,681 @@
+#include "hierarchy/cache_level.hh"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+CacheLevelModel::CacheLevelModel(const LevelParams &params)
+    : params_(params),
+      bus_(params.numSlices, params.bus)
+{
+    MC_ASSERT(params_.numSlices > 0);
+    MC_ASSERT(params_.sliceGeom.valid());
+    acfvGranularity_ = params_.acfvGranularityLines;
+    if (acfvGranularity_ == 0) {
+        // The paper hashes the *tag*: all lines of one set-span
+        // (numSets consecutive lines) share a footprint unit. This
+        // is what keeps sequential streams — whose resident window
+        // spans few tags — from inflating the footprint estimate,
+        // while scattered reuse-heavy footprints set many bits.
+        acfvGranularity_ = static_cast<std::uint32_t>(
+            params_.sliceGeom.numSets());
+    }
+    MC_ASSERT(isPowerOf2(acfvGranularity_));
+    slices_.reserve(params_.numSlices);
+    for (std::uint32_t i = 0; i < params_.numSlices; ++i) {
+        slices_.emplace_back(static_cast<SliceId>(i),
+                             params_.sliceGeom, params_.policy);
+    }
+    acfvs_.reserve(std::size_t{params_.numSlices} * params_.numSlices);
+    for (std::uint32_t s = 0; s < params_.numSlices; ++s) {
+        for (std::uint32_t c = 0; c < params_.numSlices; ++c) {
+            acfvs_.emplace_back(params_.acfvBits, params_.acfvHash);
+        }
+    }
+    if (params_.trackOracle) {
+        oracles_.resize(std::size_t{params_.numSlices} *
+                        params_.numSlices);
+    }
+    sliceFills_.assign(params_.numSlices, 0);
+    configure(allPrivate(params_.numSlices));
+}
+
+void
+CacheLevelModel::configure(const Partition &partition)
+{
+    validatePartition(partition, params_.numSlices);
+    partition_ = partition;
+    groupOf_ = groupOfSlice(partition_, params_.numSlices);
+    groupRotor_.assign(partition_.size(), 0);
+
+    // Physical-span latency stretch (Section 5.5): a group whose
+    // members are not adjacent must ride a physical segment spanning
+    // every slice between its extremes; it pays extra cycles
+    // proportional to the stretch beyond its own size.
+    spanExtraCycles_.assign(params_.numSlices, 0);
+    groupSpanTiles_.assign(partition_.size(), 1);
+    std::vector<std::uint32_t> bus_group(params_.numSlices, 0);
+    for (std::uint32_t g = 0; g < partition_.size(); ++g) {
+        SliceId lo = partition_[g].front();
+        SliceId hi = partition_[g].front();
+        for (SliceId s : partition_[g]) {
+            lo = std::min(lo, s);
+            hi = std::max(hi, s);
+        }
+        const std::uint32_t span = hi - lo + 1;
+        groupSpanTiles_[g] = span;
+        const auto size =
+            static_cast<std::uint32_t>(partition_[g].size());
+        const Cycle extra =
+            Cycle{span - size} * params_.spanPenaltyCyclesPerTile;
+        for (SliceId s : partition_[g])
+            spanExtraCycles_[s] = extra;
+    }
+    // Bus segments: groups sharing overlapping physical spans must
+    // share one segment (they ride the same wires). Merge spans
+    // transitively via an interval sweep.
+    std::vector<std::pair<SliceId, SliceId>> spans;
+    spans.reserve(partition_.size());
+    for (const auto &group : partition_) {
+        SliceId lo = group.front(), hi = group.front();
+        for (SliceId s : group) {
+            lo = std::min(lo, s);
+            hi = std::max(hi, s);
+        }
+        spans.emplace_back(lo, hi);
+    }
+    // Segment id per slice: sweep left to right, extending the
+    // current segment while any group's span covers the boundary.
+    std::vector<SliceId> cover_until(params_.numSlices, 0);
+    for (std::uint32_t i = 0; i < params_.numSlices; ++i)
+        cover_until[i] = i;
+    for (const auto &[lo, hi] : spans) {
+        for (SliceId s = lo; s <= hi; ++s)
+            cover_until[s] = std::max(cover_until[s], hi);
+    }
+    std::uint32_t seg = 0;
+    SliceId reach = 0;
+    for (std::uint32_t s = 0; s < params_.numSlices; ++s) {
+        if (s > reach) {
+            ++seg;
+            reach = s;
+        }
+        reach = std::max<SliceId>(reach, cover_until[s]);
+        bus_group[s] = seg;
+    }
+    bus_.configure(bus_group);
+}
+
+std::uint32_t
+CacheLevelModel::groupOf(SliceId slice) const
+{
+    MC_ASSERT(slice < params_.numSlices);
+    return groupOf_[slice];
+}
+
+const std::vector<SliceId> &
+CacheLevelModel::groupSlices(CoreId core) const
+{
+    MC_ASSERT(core < params_.numSlices);
+    return partition_[groupOf_[core]];
+}
+
+LookupOutcome
+CacheLevelModel::lookup(CoreId core, Addr line_addr, Cycle now)
+{
+    LookupOutcome out;
+    out.latency = params_.localHitLatency;
+
+    CacheSlice &own = slices_[core];
+    const std::uint64_t set = own.setIndex(line_addr);
+
+    const auto own_way = own.probe(line_addr);
+    const auto &group = groupSlices(core);
+    stats_.sliceProbes += group.size(); // own + broadcast probes
+
+    // Lazy invalidation (Section 2.2): if the line is duplicated
+    // across member slices after a merge, keep one copy — the local
+    // one if present, else the most recently used — and invalidate
+    // the rest the first time it is touched.
+    SliceId hit_slice = invalidSlice;
+    std::uint32_t hit_way = 0;
+    if (own_way) {
+        hit_slice = static_cast<SliceId>(core);
+        hit_way = *own_way;
+    }
+    bool probed_remote = false;
+    if (group.size() > 1) {
+        for (SliceId member : group) {
+            if (member == core)
+                continue;
+            const auto way = slices_[member].probe(line_addr);
+            if (!way)
+                continue;
+            probed_remote = true;
+            if (hit_slice == invalidSlice) {
+                hit_slice = member;
+                hit_way = *way;
+            } else {
+                // Duplicate: drop this copy.
+                const Eviction dup = slices_[member].invalidate(line_addr);
+                noteEviction(member, line_addr, dup.reused);
+                ++stats_.lazyInvalidations;
+            }
+        }
+    }
+
+    if (hit_slice == invalidSlice) {
+        // Miss. A merged group pays the request-only bus
+        // transaction that broadcast the miss to the other member
+        // slices (no data phase).
+        if (group.size() > 1) {
+            ++stats_.busEvents;
+            stats_.busSpanTiles += groupSpanTiles_[groupOf_[core]];
+        }
+        if (group.size() > 1 && params_.chargeBusPenalty) {
+            out.latency += bus_.transactRequest(
+                static_cast<SliceId>(core), now + out.latency);
+            out.latency += spanExtraCycles_[core];
+        }
+        ++stats_.misses;
+        if (hooks_)
+            hooks_->miss(*this, core, line_addr);
+        return out;
+    }
+
+    out.hit = true;
+    out.slice = hit_slice;
+    out.remote = (hit_slice != core);
+    if (out.remote) {
+        ++stats_.busEvents;
+        stats_.busSpanTiles += groupSpanTiles_[groupOf_[core]];
+        // A remote hit rides the segmented bus; 10 + 15 = the
+        // paper's 25-cycle merged-hit latency.
+        if (params_.chargeBusPenalty) {
+            out.latency += bus_.transact(static_cast<SliceId>(core),
+                                         now + out.latency);
+            out.latency += spanExtraCycles_[core];
+        }
+        out.latency += params_.remoteHitExtraCycles;
+    }
+    (void)probed_remote;
+    if (out.remote)
+        ++stats_.remoteHits;
+    else
+        ++stats_.localHits;
+
+    bool default_promote = true;
+    if (hooks_) {
+        default_promote = hooks_->hit(*this, core, line_addr,
+                                      hit_slice, set, hit_way);
+    }
+    if (default_promote)
+        slices_[hit_slice].touch(set, hit_way, nextStamp());
+    acfvRef(core, hit_slice).set(line_addr / acfvGranularity_);
+    if (params_.trackOracle) {
+        oracles_[std::size_t{hit_slice} * params_.numSlices + core]
+            .set(line_addr);
+    }
+    return out;
+}
+
+InsertOutcome
+CacheLevelModel::insert(CoreId core, Addr line_addr, bool dirty)
+{
+    InsertOutcome out;
+    if (hooks_ && hooks_->insert(*this, core, line_addr, dirty, out))
+        return out;
+    const auto &group = groupSlices(core);
+    const std::uint64_t set = slices_[core].setIndex(line_addr);
+
+    // 1) Invalid way in the requester's own slice.
+    // 2) Invalid way in any member slice.
+    // 3) Group-wide replacement victim.
+    SliceId target = invalidSlice;
+    std::uint32_t target_way = 0;
+
+    auto find_invalid = [&](SliceId member) -> bool {
+        const CacheSlice &slice = slices_[member];
+        for (std::uint32_t way = 0; way < params_.sliceGeom.assoc;
+             ++way) {
+            if (!slice.lineAt(set, way).valid) {
+                target = member;
+                target_way = way;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    if (!find_invalid(static_cast<SliceId>(core))) {
+        for (SliceId member : group) {
+            if (member != core && find_invalid(member))
+                break;
+        }
+    }
+
+    if (target == invalidSlice) {
+        if (params_.policy == ReplPolicy::LRU) {
+            // Exact LRU across the merged ways (stamps compose).
+            std::uint64_t oldest = ~std::uint64_t{0};
+            for (SliceId member : group) {
+                const std::uint32_t way = slices_[member].victimWay(set);
+                const auto &line = slices_[member].lineAt(set, way);
+                if (line.stamp < oldest) {
+                    oldest = line.stamp;
+                    target = member;
+                    target_way = way;
+                }
+            }
+        } else {
+            // Tree-PLRU per slice; rotate the victim slice so merged
+            // groups spread replacements (the paper notes merged
+            // trees converge quickly under further accesses).
+            const std::uint32_t g = groupOf_[core];
+            const std::uint32_t idx =
+                groupRotor_[g]++ % static_cast<std::uint32_t>(
+                                        group.size());
+            target = group[idx];
+            target_way = slices_[target].victimWay(set);
+        }
+    }
+
+    MC_ASSERT(target != invalidSlice);
+    return fillInto(core, target, target_way, line_addr, dirty,
+                    nextStamp());
+}
+
+InsertOutcome
+CacheLevelModel::fillInto(CoreId core, SliceId target,
+                          std::uint32_t way, Addr line_addr,
+                          bool dirty, std::uint64_t stamp)
+{
+    InsertOutcome out;
+    const std::uint64_t set = slices_[target].setIndex(line_addr);
+    out.slice = target;
+    out.evicted = slices_[target].fill(set, way, line_addr, dirty,
+                                       stamp);
+    out.evictedFrom = target;
+    ++stats_.fills;
+    ++stats_.sliceProbes;
+    ++sliceFills_[target];
+    if (out.evicted.valid) {
+        ++stats_.evictions;
+        noteEviction(target, out.evicted.lineAddr,
+                     out.evicted.reused);
+    }
+    acfvRef(core, target).set(line_addr / acfvGranularity_);
+    if (params_.trackOracle) {
+        oracles_[std::size_t{target} * params_.numSlices + core]
+            .set(line_addr);
+    }
+    return out;
+}
+
+InsertOutcome
+CacheLevelModel::insertAtStackPosition(CoreId core, Addr line_addr,
+                                       bool dirty,
+                                       std::uint32_t position)
+{
+    const auto &group = groupSlices(core);
+    const std::uint64_t set = slices_[core].setIndex(line_addr);
+
+    // Victim: an invalid way anywhere in the group, else the
+    // group-wide LRU line.
+    SliceId target = invalidSlice;
+    std::uint32_t target_way = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (SliceId member : group) {
+        for (std::uint32_t way = 0; way < params_.sliceGeom.assoc;
+             ++way) {
+            const CacheLine &line = slices_[member].lineAt(set, way);
+            if (!line.valid) {
+                target = member;
+                target_way = way;
+                oldest = 0;
+                break;
+            }
+            if (line.stamp < oldest) {
+                oldest = line.stamp;
+                target = member;
+                target_way = way;
+            }
+        }
+        if (target != invalidSlice &&
+            !slices_[target].lineAt(set, target_way).valid) {
+            break;
+        }
+    }
+    MC_ASSERT(target != invalidSlice);
+
+    // The new line's recency equals that of the line currently at
+    // LRU-stack `position` (excluding the victim), so it enters the
+    // stack exactly there instead of at MRU.
+    std::vector<std::uint64_t> stamps;
+    stamps.reserve(std::size_t{group.size()} *
+                   params_.sliceGeom.assoc);
+    for (SliceId member : group) {
+        for (std::uint32_t way = 0; way < params_.sliceGeom.assoc;
+             ++way) {
+            if (member == target && way == target_way)
+                continue;
+            const CacheLine &line = slices_[member].lineAt(set, way);
+            if (line.valid)
+                stamps.push_back(line.stamp);
+        }
+    }
+    std::sort(stamps.begin(), stamps.end());
+    const std::uint64_t stamp = position < stamps.size()
+                                    ? stamps[position]
+                                    : nextStamp();
+    return fillInto(core, target, target_way, line_addr, dirty,
+                    stamp);
+}
+
+void
+CacheLevelModel::promoteByOne(SliceId slice, std::uint64_t set,
+                              std::uint32_t way)
+{
+    CacheLine &line = slices_[slice].lineAt(set, way);
+    MC_ASSERT(line.valid);
+
+    // Find the immediate upward neighbour in the group's LRU stack
+    // and swap recencies with it.
+    const auto &group = partition_[groupOf_[slice]];
+    CacheLine *above = nullptr;
+    for (SliceId member : group) {
+        for (std::uint32_t w = 0; w < params_.sliceGeom.assoc; ++w) {
+            CacheLine &other = slices_[member].lineAt(set, w);
+            if (!other.valid || (&other == &line))
+                continue;
+            if (other.stamp <= line.stamp)
+                continue;
+            if (!above || other.stamp < above->stamp)
+                above = &other;
+        }
+    }
+    if (above)
+        std::swap(above->stamp, line.stamp);
+}
+
+InsertOutcome
+CacheLevelModel::insertIntoSlice(CoreId core, SliceId target,
+                                 Addr line_addr, bool dirty)
+{
+    MC_ASSERT(target < params_.numSlices);
+    const std::uint64_t set = slices_[target].setIndex(line_addr);
+    const std::uint32_t way = slices_[target].victimWay(set);
+    return fillInto(core, target, way, line_addr, dirty, nextStamp());
+}
+
+InsertOutcome
+CacheLevelModel::fillAt(CoreId core, SliceId target,
+                        std::uint32_t way, Addr line_addr, bool dirty)
+{
+    MC_ASSERT(target < params_.numSlices);
+    MC_ASSERT(way < params_.sliceGeom.assoc);
+    return fillInto(core, target, way, line_addr, dirty, nextStamp());
+}
+
+bool
+CacheLevelModel::markDirty(CoreId core, Addr line_addr)
+{
+    for (SliceId member : groupSlices(core)) {
+        const auto way = slices_[member].probe(line_addr);
+        if (way) {
+            const std::uint64_t set = slices_[member].setIndex(line_addr);
+            slices_[member].lineAt(set, *way).dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CacheLevelModel::presentInGroup(CoreId core, Addr line_addr) const
+{
+    for (SliceId member : groupSlices(core)) {
+        if (slices_[member].probe(line_addr))
+            return true;
+    }
+    return false;
+}
+
+bool
+CacheLevelModel::presentInSlices(const std::vector<SliceId> &slices,
+                                 Addr line_addr) const
+{
+    for (SliceId member : slices) {
+        if (slices_[member].probe(line_addr))
+            return true;
+    }
+    return false;
+}
+
+std::optional<SliceId>
+CacheLevelModel::findInOtherGroups(CoreId core, Addr line_addr) const
+{
+    const std::uint32_t own_group = groupOf_[core];
+    for (std::uint32_t s = 0; s < params_.numSlices; ++s) {
+        if (groupOf_[s] == own_group)
+            continue;
+        if (slices_[s].probe(line_addr))
+            return static_cast<SliceId>(s);
+    }
+    return std::nullopt;
+}
+
+bool
+CacheLevelModel::invalidateInSlices(const std::vector<SliceId> &slices,
+                                    Addr line_addr)
+{
+    bool dirty = false;
+    for (SliceId member : slices) {
+        const Eviction ev = slices_[member].invalidate(line_addr);
+        if (ev.valid) {
+            dirty = dirty || ev.dirty;
+            noteEviction(member, line_addr, ev.reused);
+            ++stats_.inclusionInvalidations;
+        }
+    }
+    return dirty;
+}
+
+bool
+CacheLevelModel::invalidateEverywhere(Addr line_addr)
+{
+    bool dirty = false;
+    for (std::uint32_t s = 0; s < params_.numSlices; ++s) {
+        const Eviction ev = slices_[s].invalidate(line_addr);
+        if (ev.valid) {
+            dirty = dirty || ev.dirty;
+            noteEviction(static_cast<SliceId>(s), line_addr,
+                         ev.reused);
+            ++stats_.coherenceInvalidations;
+        }
+    }
+    return dirty;
+}
+
+bool
+CacheLevelModel::invalidateOutsideGroup(CoreId core, Addr line_addr)
+{
+    const std::uint32_t own_group = groupOf_[core];
+    bool dirty = false;
+    for (std::uint32_t s = 0; s < params_.numSlices; ++s) {
+        if (groupOf_[s] == own_group)
+            continue;
+        const Eviction ev = slices_[s].invalidate(line_addr);
+        if (ev.valid) {
+            dirty = dirty || ev.dirty;
+            noteEviction(static_cast<SliceId>(s), line_addr,
+                         ev.reused);
+            ++stats_.coherenceInvalidations;
+        }
+    }
+    return dirty;
+}
+
+CacheSlice &
+CacheLevelModel::slice(SliceId id)
+{
+    MC_ASSERT(id < params_.numSlices);
+    return slices_[id];
+}
+
+const CacheSlice &
+CacheLevelModel::slice(SliceId id) const
+{
+    MC_ASSERT(id < params_.numSlices);
+    return slices_[id];
+}
+
+Acfv &
+CacheLevelModel::acfvRef(CoreId core, SliceId slice)
+{
+    MC_ASSERT(core < params_.numSlices && slice < params_.numSlices);
+    return acfvs_[std::size_t{slice} * params_.numSlices + core];
+}
+
+const Acfv &
+CacheLevelModel::acfv(CoreId core, SliceId slice) const
+{
+    MC_ASSERT(core < params_.numSlices && slice < params_.numSlices);
+    return acfvs_[std::size_t{slice} * params_.numSlices + core];
+}
+
+void
+CacheLevelModel::noteEviction(SliceId slice, Addr line_addr,
+                              bool reused)
+{
+    // Only the eviction of a line that was *never reused* clears
+    // its footprint unit: that is precisely the stale/streaming
+    // data Section 2.1 wants excluded from the ACF, while reused
+    // (genuinely active) granules keep their bits until the epoch
+    // reset even if capacity churn displaces individual lines.
+    if (reused)
+        return;
+    for (std::uint32_t c = 0; c < params_.numSlices; ++c) {
+        acfvs_[std::size_t{slice} * params_.numSlices + c]
+            .clear(line_addr / acfvGranularity_);
+        if (params_.trackOracle) {
+            oracles_[std::size_t{slice} * params_.numSlices + c]
+                .clear(line_addr);
+        }
+    }
+}
+
+std::uint32_t
+CacheLevelModel::sliceAcfPopcount(SliceId slice) const
+{
+    const std::size_t words =
+        acfvs_[std::size_t{slice} * params_.numSlices].words().size();
+    std::uint32_t count = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t acc = 0;
+        for (std::uint32_t c = 0; c < params_.numSlices; ++c) {
+            acc |= acfvs_[std::size_t{slice} * params_.numSlices + c]
+                       .words()[w];
+        }
+        count += static_cast<std::uint32_t>(std::popcount(acc));
+    }
+    return count;
+}
+
+double
+CacheLevelModel::utilization(const std::vector<SliceId> &slices) const
+{
+    MC_ASSERT(!slices.empty());
+    std::uint64_t ones = 0;
+    for (SliceId s : slices)
+        ones += sliceAcfPopcount(s);
+    return static_cast<double>(ones) /
+           (static_cast<double>(params_.acfvBits) * slices.size());
+}
+
+std::vector<std::uint64_t>
+CacheLevelModel::aggregateWords(const std::vector<SliceId> &slices) const
+{
+    const std::size_t words =
+        acfvs_.front().words().size();
+    std::vector<std::uint64_t> acc(words, 0);
+    for (SliceId s : slices) {
+        for (std::uint32_t c = 0; c < params_.numSlices; ++c) {
+            const auto &vec =
+                acfvs_[std::size_t{s} * params_.numSlices + c].words();
+            for (std::size_t w = 0; w < words; ++w)
+                acc[w] |= vec[w];
+        }
+    }
+    return acc;
+}
+
+double
+CacheLevelModel::overlap(const std::vector<SliceId> &a,
+                         const std::vector<SliceId> &b) const
+{
+    const auto wa = aggregateWords(a);
+    const auto wb = aggregateWords(b);
+    std::uint32_t common = 0, pa = 0, pb = 0;
+    for (std::size_t w = 0; w < wa.size(); ++w) {
+        common += static_cast<std::uint32_t>(
+            std::popcount(wa[w] & wb[w]));
+        pa += static_cast<std::uint32_t>(std::popcount(wa[w]));
+        pb += static_cast<std::uint32_t>(std::popcount(wb[w]));
+    }
+    const std::uint32_t smaller = std::min(pa, pb);
+    if (smaller == 0)
+        return 0.0;
+    // Report the *lift over chance*: two unrelated footprints that
+    // each cover half the vector share half their bits by
+    // pigeonhole, so the raw common-1s count saturates at high
+    // utilization. Subtracting the expected random intersection
+    // (popA*popB/bits) leaves the component actual data sharing
+    // contributes — a two-multiplier refinement of the paper's
+    // common-1s test that keeps it meaningful at high coverage.
+    const double bits =
+        static_cast<double>(params_.acfvBits) * a.size();
+    const double expected =
+        static_cast<double>(pa) * static_cast<double>(pb) / bits;
+    const double excess = static_cast<double>(common) - expected;
+    const double headroom = static_cast<double>(smaller) - expected;
+    if (headroom <= 0.0)
+        return 0.0;
+    return std::max(0.0, excess / headroom);
+}
+
+std::uint64_t
+CacheLevelModel::oracleAcfSize(CoreId core, SliceId slice) const
+{
+    MC_ASSERT(params_.trackOracle);
+    return oracles_[std::size_t{slice} * params_.numSlices + core]
+        .size();
+}
+
+double
+CacheLevelModel::fillPressure(const std::vector<SliceId> &slices) const
+{
+    MC_ASSERT(!slices.empty());
+    std::uint64_t fills = 0;
+    for (SliceId s : slices)
+        fills += sliceFills_[s];
+    const double capacity = static_cast<double>(
+        params_.sliceGeom.numLines() * slices.size());
+    return static_cast<double>(fills) / capacity;
+}
+
+void
+CacheLevelModel::resetFootprints()
+{
+    for (auto &vec : acfvs_)
+        vec.resetAll();
+    for (auto &oracle : oracles_)
+        oracle.resetAll();
+    sliceFills_.assign(params_.numSlices, 0);
+}
+
+} // namespace morphcache

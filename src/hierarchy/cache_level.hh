@@ -1,0 +1,401 @@
+/**
+ * @file
+ * One reconfigurable level (L2 or L3) of the MorphCache hierarchy.
+ *
+ * A level owns its physical slices, the sharing partition currently
+ * in effect, the segmented bus connecting the slices, and the ACFV
+ * bank (one vector per core per slice). All group-aware operations
+ * — local-then-remote lookup with lazy invalidation of merge
+ * duplicates, group-wide victim choice, group utilization and
+ * overlap queries — live here.
+ */
+
+#ifndef MORPHCACHE_HIERARCHY_CACHE_LEVEL_HH
+#define MORPHCACHE_HIERARCHY_CACHE_LEVEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "acf/acfv.hh"
+#include "common/types.hh"
+#include "hierarchy/topology.hh"
+#include "interconnect/segmented_bus.hh"
+#include "mem/slice.hh"
+
+namespace morphcache {
+
+/** Configuration of one cache level. */
+struct LevelParams
+{
+    /** Human-readable name ("L2"/"L3") for messages. */
+    const char *name = "L2";
+    /** Number of physical slices (== cores in this design). */
+    std::uint32_t numSlices = 16;
+    /** Geometry of each slice. */
+    CacheGeometry sliceGeom;
+    /** Intra-slice replacement policy. */
+    ReplPolicy policy = ReplPolicy::LRU;
+    /** Latency of a hit in the requester's own slice (CPU cycles). */
+    Cycle localHitLatency = 10;
+    /**
+     * Charge the segmented-bus transaction (latency + segment
+     * occupancy/queueing) on remote-slice traffic. True for
+     * MorphCache's reconfigurable bus; the static baselines use a
+     * fixed interconnect instead and charge remoteHitExtraCycles
+     * without bus serialization.
+     */
+    bool chargeBusPenalty = true;
+    /** Segmented-bus timing. */
+    BusParams bus;
+    /**
+     * Fixed extra cycles on a remote-slice hit, independent of the
+     * segmented-bus model. Used by the DSR baseline, whose snoop
+     * fabric is not the MorphCache bus but whose remote hits are
+     * not free either.
+     */
+    Cycle remoteHitExtraCycles = 0;
+    /**
+     * Extra CPU cycles per tile of physical span beyond the group
+     * size, modelling the Section 5.5 observation that groups built
+     * from distant slices pay the latency of the full physical
+     * segment they ride on.
+     */
+    std::uint32_t spanPenaltyCyclesPerTile = 2;
+    /** ACFV length in bits. */
+    std::uint32_t acfvBits = 128;
+    /**
+     * ACFV hash family. Fibonacci (multiplicative) by default: it
+     * keeps |ACFV| linear in region-structured footprints while
+     * decorrelating unrelated address regions, which the sharing
+     * test (common 1s) depends on. The paper's XOR and modulo
+     * families are compared against it in the Figure 5 bench.
+     */
+    HashKind acfvHash = HashKind::Fibonacci;
+    /**
+     * Lines per footprint unit hashed into the ACFV. The paper
+     * hashes the *tag*: all numSets consecutive lines share one
+     * footprint unit, which is what keeps sequential streams (a
+     * few tags resident at a time) from inflating the estimate
+     * while dispersed reuse-heavy footprints set many bits. 0
+     * (auto) selects exactly that: the slice's set count.
+     */
+    std::uint32_t acfvGranularityLines = 0;
+    /** Track exact per-core-per-slice footprints (oracle ACF). */
+    bool trackOracle = false;
+};
+
+/** Aggregate counters for one level. */
+struct LevelStats
+{
+    std::uint64_t localHits = 0;
+    std::uint64_t remoteHits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t lazyInvalidations = 0;
+    std::uint64_t coherenceInvalidations = 0;
+    std::uint64_t inclusionInvalidations = 0;
+    /** Physical slice probes performed (lookups + fills). */
+    std::uint64_t sliceProbes = 0;
+    /** Interconnect events (remote hits + group-miss broadcasts). */
+    std::uint64_t busEvents = 0;
+    /** Sum of the physical segment spans those events drove. */
+    std::uint64_t busSpanTiles = 0;
+};
+
+/** Outcome of a group lookup. */
+struct LookupOutcome
+{
+    /** Whether the line was found in the requester's group. */
+    bool hit = false;
+    /** Slice that held it (valid when hit). */
+    SliceId slice = invalidSlice;
+    /** Hit was in a slice other than the requester's own. */
+    bool remote = false;
+    /** CPU cycles this level contributed. */
+    Cycle latency = 0;
+};
+
+/** Outcome of a group insertion. */
+struct InsertOutcome
+{
+    /** Slice the line was installed into. */
+    SliceId slice = invalidSlice;
+    /** What the installation displaced. */
+    Eviction evicted;
+    /** Slice the displaced line lived in (== slice). */
+    SliceId evictedFrom = invalidSlice;
+};
+
+class CacheLevelModel;
+
+/**
+ * Replacement/insertion policy hooks.
+ *
+ * The default behaviour (move-to-MRU on hit, MRU insertion at a
+ * group-LRU victim) matches the paper's MorphCache and static
+ * configurations. The PIPP and DSR baselines of Figure 17 override
+ * these callbacks and drive the level through its policy
+ * primitives (insertAtStackPosition, promoteByOne,
+ * insertIntoSlice).
+ */
+class LevelHooks
+{
+  public:
+    virtual ~LevelHooks() = default;
+
+    /**
+     * Called on a group hit before the default promotion.
+     * @return true to apply the default move-to-MRU.
+     */
+    virtual bool
+    hit(CacheLevelModel &level, CoreId core, Addr line_addr,
+        SliceId slice, std::uint64_t set, std::uint32_t way)
+    {
+        (void)level;
+        (void)core;
+        (void)line_addr;
+        (void)slice;
+        (void)set;
+        (void)way;
+        return true;
+    }
+
+    /** Called on a group miss (for monitors). */
+    virtual void
+    miss(CacheLevelModel &level, CoreId core, Addr line_addr)
+    {
+        (void)level;
+        (void)core;
+        (void)line_addr;
+    }
+
+    /**
+     * Called instead of the default insertion when it returns true
+     * (with `out` filled in).
+     */
+    virtual bool
+    insert(CacheLevelModel &level, CoreId core, Addr line_addr,
+           bool dirty, InsertOutcome &out)
+    {
+        (void)level;
+        (void)core;
+        (void)line_addr;
+        (void)dirty;
+        (void)out;
+        return false;
+    }
+};
+
+/**
+ * A reconfigurable cache level.
+ */
+class CacheLevelModel
+{
+  public:
+    explicit CacheLevelModel(const LevelParams &params);
+
+    /** Level parameters. */
+    const LevelParams &params() const { return params_; }
+
+    /** Apply a new sharing partition. */
+    void configure(const Partition &partition);
+
+    /** Partition currently in effect. */
+    const Partition &partition() const { return partition_; }
+
+    /** Group index a slice currently belongs to. */
+    std::uint32_t groupOf(SliceId slice) const;
+
+    /** Slices of the group that `core` can access. */
+    const std::vector<SliceId> &groupSlices(CoreId core) const;
+
+    /**
+     * Look up `line_addr` for `core`: probe the core's own slice,
+     * then (over the bus) the rest of its group, performing lazy
+     * invalidation if merge duplicates are found. Updates recency
+     * and the requesting core's ACFV on a hit.
+     *
+     * @param now Current CPU cycle (for bus queueing).
+     */
+    LookupOutcome lookup(CoreId core, Addr line_addr, Cycle now);
+
+    /**
+     * Install `line_addr` into `core`'s group: an invalid way in
+     * the core's own slice is preferred, then invalid ways in other
+     * member slices, then the group-wide replacement victim.
+     */
+    InsertOutcome insert(CoreId core, Addr line_addr, bool dirty);
+
+    /**
+     * PIPP primitive: install at LRU-stack position `position`
+     * (0 = LRU) within the group's combined ways, evicting the
+     * group-LRU victim if no invalid way exists.
+     */
+    InsertOutcome insertAtStackPosition(CoreId core, Addr line_addr,
+                                        bool dirty,
+                                        std::uint32_t position);
+
+    /**
+     * PIPP primitive: promote a resident line by one LRU-stack
+     * position (swap recency with its immediate upward neighbour).
+     */
+    void promoteByOne(SliceId slice, std::uint64_t set,
+                      std::uint32_t way);
+
+    /**
+     * DSR primitive: install into one specific slice only, evicting
+     * that slice's own victim.
+     */
+    InsertOutcome insertIntoSlice(CoreId core, SliceId target,
+                                  Addr line_addr, bool dirty);
+
+    /**
+     * UCP primitive: install into an exact (slice, way), displacing
+     * whatever is there. The caller owns victim selection.
+     */
+    InsertOutcome fillAt(CoreId core, SliceId target,
+                         std::uint32_t way, Addr line_addr,
+                         bool dirty);
+
+    /** Attach policy hooks (not owned; nullptr restores default). */
+    void setHooks(LevelHooks *hooks) { hooks_ = hooks; }
+
+    /** Mark a resident line dirty (writeback from above). */
+    bool markDirty(CoreId core, Addr line_addr);
+
+    /** Is the line resident anywhere in `core`'s group? */
+    bool presentInGroup(CoreId core, Addr line_addr) const;
+
+    /** Is the line resident in any of the given slices? */
+    bool presentInSlices(const std::vector<SliceId> &slices,
+                         Addr line_addr) const;
+
+    /**
+     * Find the line in any group other than `core`'s (coherence
+     * snoop for shared address spaces).
+     */
+    std::optional<SliceId> findInOtherGroups(CoreId core,
+                                             Addr line_addr) const;
+
+    /**
+     * Invalidate the line from the given slices (inclusion
+     * back-invalidation). @return true if a dirty copy was dropped.
+     */
+    bool invalidateInSlices(const std::vector<SliceId> &slices,
+                            Addr line_addr);
+
+    /**
+     * Invalidate every copy of the line in the whole level
+     * (coherence on a remote write). @return dirty-copy flag.
+     */
+    bool invalidateEverywhere(Addr line_addr);
+
+    /**
+     * Invalidate copies of the line held outside `core`'s group
+     * (write-invalidate broadcast). @return dirty-copy flag.
+     */
+    bool invalidateOutsideGroup(CoreId core, Addr line_addr);
+
+    /** Direct slice access (tests, reconfiguration walks). */
+    CacheSlice &slice(SliceId id);
+    const CacheSlice &slice(SliceId id) const;
+
+    /** Number of slices. */
+    std::uint32_t numSlices() const { return params_.numSlices; }
+
+    /** Mutable statistics. */
+    LevelStats &stats() { return stats_; }
+    const LevelStats &stats() const { return stats_; }
+
+    /** Bus (for contention statistics). */
+    const SegmentedBus &bus() const { return bus_; }
+
+    // --- ACFV bank ----------------------------------------------
+
+    /** ACFV of (core, slice). */
+    const Acfv &acfv(CoreId core, SliceId slice) const;
+
+    /** Popcount of the OR of all cores' ACFVs for one slice. */
+    std::uint32_t sliceAcfPopcount(SliceId slice) const;
+
+    /**
+     * Utilization of a set of slices: total set bits over total
+     * bits of the juxtaposed per-slice vectors (paper Section 2.2).
+     */
+    double utilization(const std::vector<SliceId> &slices) const;
+
+    /**
+     * Overlap fraction between the aggregate footprints of two
+     * slice sets: common 1s / min(popcounts). Approximates the
+     * degree of data sharing (paper Section 2.1, property ii).
+     */
+    double overlap(const std::vector<SliceId> &a,
+                   const std::vector<SliceId> &b) const;
+
+    /** Exact footprint size of (core, slice); oracle mode only. */
+    std::uint64_t oracleAcfSize(CoreId core, SliceId slice) const;
+
+    /**
+     * Fills into a set of slices since the last footprint reset,
+     * normalized by their aggregate capacity. The QoS hardware of
+     * Section 5.3 already maintains per-slice miss registers; this
+     * reuses them as a churn signal: an under-utilized slice whose
+     * fill pressure is high is a streaming victim cache, not spare
+     * capacity.
+     */
+    double fillPressure(const std::vector<SliceId> &slices) const;
+
+    /** Epoch boundary: reset all ACFVs (and oracle sets). */
+    void resetFootprints();
+
+    /** Footprint unit (lines) actually in use. */
+    std::uint32_t acfvGranularity() const { return acfvGranularity_; }
+
+  private:
+    std::uint64_t nextStamp() { return ++stamp_; }
+
+    /** Shared tail of all insertion paths. */
+    InsertOutcome fillInto(CoreId core, SliceId target,
+                           std::uint32_t way, Addr line_addr,
+                           bool dirty, std::uint64_t stamp);
+
+    Acfv &acfvRef(CoreId core, SliceId slice);
+
+    /**
+     * Footprint bookkeeping for an eviction: clears the granule
+     * bit only when the departing line was never reused (stale or
+     * streaming data, per Section 2.1's reuse-centric ACF).
+     */
+    void noteEviction(SliceId slice, Addr line_addr, bool reused);
+
+    /** OR-aggregate ACFV words over a set of slices (all cores). */
+    std::vector<std::uint64_t>
+    aggregateWords(const std::vector<SliceId> &slices) const;
+
+    LevelParams params_;
+    std::uint32_t acfvGranularity_ = 1;
+    std::vector<CacheSlice> slices_;
+    Partition partition_;
+    std::vector<std::uint32_t> groupOf_;
+    /** Extra remote cycles per slice from physical-span stretch. */
+    std::vector<Cycle> spanExtraCycles_;
+    /** Physical span (tiles) of each group (energy accounting). */
+    std::vector<std::uint32_t> groupSpanTiles_;
+    SegmentedBus bus_;
+    std::vector<Acfv> acfvs_;
+    std::vector<OracleAcf> oracles_;
+    /** Per-slice fill counts since the last footprint reset. */
+    std::vector<std::uint64_t> sliceFills_;
+    /** Per-group round-robin rotor for PLRU victim slice choice. */
+    std::vector<std::uint32_t> groupRotor_;
+    std::uint64_t stamp_ = 0;
+    LevelStats stats_;
+    /** Optional policy hooks (PIPP/DSR baselines); not owned. */
+    LevelHooks *hooks_ = nullptr;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_HIERARCHY_CACHE_LEVEL_HH

@@ -1,0 +1,327 @@
+#include "hierarchy/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+HierarchyParams
+HierarchyParams::defaultParams(std::uint32_t num_cores)
+{
+    HierarchyParams params;
+    params.numCores = num_cores;
+    params.l1Geom = CacheGeometry{32 * 1024, 4, 64};
+    params.l1Latency = 3;
+
+    params.l2.name = "L2";
+    params.l2.numSlices = num_cores;
+    params.l2.sliceGeom = CacheGeometry{256 * 1024, 8, 64};
+    params.l2.localHitLatency = 10;
+
+    params.l3.name = "L3";
+    params.l3.numSlices = num_cores;
+    params.l3.sliceGeom = CacheGeometry{1024 * 1024, 16, 64};
+    params.l3.localHitLatency = 30;
+
+    params.memLatency = 300;
+    return params;
+}
+
+Hierarchy::Hierarchy(const HierarchyParams &params)
+    : params_(params), l2_(params.l2), l3_(params.l3),
+      topology_(Topology::allPrivateTopology(params.numCores)),
+      coreStats_(params.numCores)
+{
+    MC_ASSERT(params_.numCores > 0);
+    MC_ASSERT(params_.l2.numSlices == params_.numCores);
+    MC_ASSERT(params_.l3.numSlices == params_.numCores);
+    MC_ASSERT(params_.l1Geom.valid());
+    l1s_.reserve(params_.numCores);
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        l1s_.emplace_back(static_cast<SliceId>(c), params_.l1Geom,
+                          ReplPolicy::LRU);
+    }
+}
+
+void
+Hierarchy::reconfigure(const Topology &topology)
+{
+    MC_ASSERT(topology.numCores == params_.numCores);
+    validatePartition(topology.l2, params_.numCores);
+    validatePartition(topology.l3, params_.numCores);
+    if (!topology.respectsInclusion()) {
+        fatal("topology %s violates L2-within-L3 inclusion",
+              topology.name().c_str());
+    }
+    const Topology old = topology_;
+    topology_ = topology;
+    l2_.configure(topology.l2);
+    l3_.configure(topology.l3);
+    enforceInclusion(old);
+}
+
+void
+Hierarchy::enforceInclusion(const Topology &old_topology)
+{
+    const auto old_l3 = groupOfSlice(old_topology.l3, params_.numCores);
+    const auto new_l3 = groupOfSlice(topology_.l3, params_.numCores);
+
+    // L2 lines must be backed by the slice's *new* L3 group. Only
+    // slices whose new group is not a superset of the old one can
+    // have lost backing.
+    const auto &geom = params_.l2.sliceGeom;
+    for (std::uint32_t s = 0; s < params_.numCores; ++s) {
+        bool superset = true;
+        for (SliceId member : old_topology.l3[old_l3[s]]) {
+            if (new_l3[member] != new_l3[s]) {
+                superset = false;
+                break;
+            }
+        }
+        if (superset)
+            continue;
+        const auto &backing = topology_.l3[new_l3[s]];
+        CacheSlice &slice = l2_.slice(static_cast<SliceId>(s));
+        for (std::uint64_t set = 0; set < geom.numSets(); ++set) {
+            for (std::uint32_t way = 0; way < geom.assoc; ++way) {
+                const CacheLine &line = slice.lineAt(set, way);
+                if (!line.valid)
+                    continue;
+                if (l3_.presentInSlices(backing, line.lineAddr))
+                    continue;
+                const bool dirty =
+                    l2_.invalidateInSlices({static_cast<SliceId>(s)},
+                                           line.lineAddr);
+                if (dirty)
+                    ++coreStats_[s].writebacks;
+            }
+        }
+    }
+
+    // L1 lines must be present in the owning core's new L2 group.
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        CacheSlice &l1 = l1s_[c];
+        const auto &l1_geom = params_.l1Geom;
+        for (std::uint64_t set = 0; set < l1_geom.numSets(); ++set) {
+            for (std::uint32_t way = 0; way < l1_geom.assoc; ++way) {
+                const CacheLine &line = l1.lineAt(set, way);
+                if (!line.valid)
+                    continue;
+                if (l2_.presentInGroup(static_cast<CoreId>(c),
+                                       line.lineAddr)) {
+                    continue;
+                }
+                const Eviction ev = l1.invalidate(line.lineAddr);
+                if (ev.valid && ev.dirty) {
+                    if (!l3_.markDirty(static_cast<CoreId>(c),
+                                       ev.lineAddr)) {
+                        ++coreStats_[c].writebacks;
+                    }
+                }
+            }
+        }
+    }
+}
+
+AccessResult
+Hierarchy::access(const MemAccess &access, Cycle now)
+{
+    MC_ASSERT(access.core < params_.numCores);
+    CoreStats &stats = coreStats_[access.core];
+    ++stats.accesses;
+
+    const Addr line = params_.l1Geom.lineAddr(access.addr);
+    const bool is_write = access.type == AccessType::Write;
+    AccessResult result;
+    result.latency = params_.l1Latency;
+
+    // ---- L1 -----------------------------------------------------
+    CacheSlice &l1 = l1s_[access.core];
+    if (const auto way = l1.probe(line)) {
+        const std::uint64_t set = l1.setIndex(line);
+        l1.touch(set, *way, ++l1Stamp_);
+        if (is_write) {
+            CacheLine &entry = l1.lineAt(set, *way);
+            if (!entry.dirty && params_.coherence)
+                coherenceInvalidate(access.core, line);
+            entry.dirty = true;
+        }
+        ++stats.l1Hits;
+        result.servedBy = ServedBy::L1;
+        stats.totalLatency += result.latency;
+        return result;
+    }
+
+    // ---- L2 group -----------------------------------------------
+    const LookupOutcome l2_out =
+        l2_.lookup(access.core, line, now + result.latency);
+    result.latency += l2_out.latency;
+    if (l2_out.hit) {
+        result.servedBy =
+            l2_out.remote ? ServedBy::L2Remote : ServedBy::L2Local;
+        if (l2_out.remote)
+            ++stats.l2RemoteHits;
+        else
+            ++stats.l2LocalHits;
+        fillL1(access.core, line, false);
+    } else {
+        // ---- L3 group ---------------------------------------------
+        const LookupOutcome l3_out =
+            l3_.lookup(access.core, line, now + result.latency);
+        result.latency += l3_out.latency;
+        if (l3_out.hit) {
+            result.servedBy = l3_out.remote ? ServedBy::L3Remote
+                                            : ServedBy::L3Local;
+            if (l3_out.remote)
+                ++stats.l3RemoteHits;
+            else
+                ++stats.l3LocalHits;
+        } else if (params_.coherence &&
+                   l3_.findInOtherGroups(access.core, line)) {
+            // Cache-to-cache transfer from a sibling group; copies
+            // stay valid for reads and are invalidated below for
+            // writes.
+            result.latency += params_.otherGroupLatency;
+            result.servedBy = ServedBy::OtherGroup;
+            ++stats.otherGroupTransfers;
+            fillL3(access.core, line, false);
+        } else {
+            result.latency += params_.memLatency;
+            result.servedBy = ServedBy::Memory;
+            ++stats.memAccesses;
+            fillL3(access.core, line, false);
+        }
+        fillL2(access.core, line, false);
+        fillL1(access.core, line, false);
+    }
+
+    if (is_write) {
+        if (params_.coherence)
+            coherenceInvalidate(access.core, line);
+        // Write-back, write-allocate: the L1 copy becomes dirty.
+        if (const auto way = l1.probe(line)) {
+            l1.lineAt(l1.setIndex(line), *way).dirty = true;
+        }
+    }
+
+    stats.totalLatency += result.latency;
+    return result;
+}
+
+void
+Hierarchy::fillL1(CoreId core, Addr line_addr, bool dirty)
+{
+    CacheSlice &l1 = l1s_[core];
+    const std::uint64_t set = l1.setIndex(line_addr);
+    const std::uint32_t way = l1.victimWay(set);
+    const Eviction ev = l1.fill(set, way, line_addr, dirty, ++l1Stamp_);
+    if (ev.valid && ev.dirty) {
+        // Write the victim back into the core's L2 group; inclusion
+        // normally guarantees presence, but a copy can have been
+        // dropped by reconfiguration or coherence, in which case the
+        // writeback continues down.
+        if (!l2_.markDirty(core, ev.lineAddr) &&
+            !l3_.markDirty(core, ev.lineAddr)) {
+            ++coreStats_[core].writebacks;
+        }
+    }
+}
+
+void
+Hierarchy::fillL2(CoreId core, Addr line_addr, bool dirty)
+{
+    const InsertOutcome out = l2_.insert(core, line_addr, dirty);
+    if (!out.evicted.valid)
+        return;
+    if (!params_.inclusive) {
+        if (out.evicted.dirty &&
+            !l3_.markDirty(static_cast<CoreId>(out.evictedFrom),
+                           out.evicted.lineAddr)) {
+            ++coreStats_[core].writebacks;
+        }
+        return;
+    }
+    // Inclusion: the displaced line leaves every L1 above this L2
+    // group.
+    bool victim_dirty = out.evicted.dirty;
+    for (SliceId member : l2_.partition()[l2_.groupOf(out.evictedFrom)]) {
+        const Eviction ev =
+            l1s_[member].invalidate(out.evicted.lineAddr);
+        if (ev.valid && ev.dirty)
+            victim_dirty = true;
+    }
+    if (victim_dirty) {
+        if (!l3_.markDirty(static_cast<CoreId>(out.evictedFrom),
+                           out.evicted.lineAddr)) {
+            ++coreStats_[core].writebacks;
+        }
+    }
+}
+
+void
+Hierarchy::fillL3(CoreId core, Addr line_addr, bool dirty)
+{
+    const InsertOutcome out = l3_.insert(core, line_addr, dirty);
+    if (!out.evicted.valid)
+        return;
+    if (!params_.inclusive) {
+        if (out.evicted.dirty)
+            ++coreStats_[core].writebacks;
+        return;
+    }
+    // Inclusion: the displaced line leaves the L2 slices and L1s
+    // backed by this L3 group.
+    const auto &backing = l3_.partition()[l3_.groupOf(out.evictedFrom)];
+    bool victim_dirty = out.evicted.dirty;
+    if (l2_.invalidateInSlices(backing, out.evicted.lineAddr))
+        victim_dirty = true;
+    for (SliceId member : backing) {
+        const Eviction ev =
+            l1s_[member].invalidate(out.evicted.lineAddr);
+        if (ev.valid && ev.dirty)
+            victim_dirty = true;
+    }
+    if (victim_dirty)
+        ++coreStats_[core].writebacks;
+}
+
+void
+Hierarchy::coherenceInvalidate(CoreId writer, Addr line_addr)
+{
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        if (c == writer)
+            continue;
+        l1s_[c].invalidate(line_addr);
+    }
+    l2_.invalidateOutsideGroup(writer, line_addr);
+    l3_.invalidateOutsideGroup(writer, line_addr);
+}
+
+const CoreStats &
+Hierarchy::coreStats(CoreId core) const
+{
+    MC_ASSERT(core < params_.numCores);
+    return coreStats_[core];
+}
+
+void
+Hierarchy::resetCoreStats()
+{
+    for (auto &stats : coreStats_)
+        stats = CoreStats{};
+}
+
+void
+Hierarchy::resetFootprints()
+{
+    l2_.resetFootprints();
+    l3_.resetFootprints();
+}
+
+CacheSlice &
+Hierarchy::l1(CoreId core)
+{
+    MC_ASSERT(core < params_.numCores);
+    return l1s_[core];
+}
+
+} // namespace morphcache

@@ -1,0 +1,94 @@
+#include "interconnect/delay_model.hh"
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+double
+ArbiterTreeFigures::worstPathNs() const
+{
+    const double request = requestWireNs + requestLogicNs;
+    const double grant = grantWireNs + grantLogicNs;
+    return request > grant ? request : grant;
+}
+
+double
+ArbiterTreeFigures::maxFrequencyGhz() const
+{
+    const double worst = worstPathNs();
+    MC_ASSERT(worst > 0.0);
+    return 1.0 / worst;
+}
+
+ArbiterDelayModel::ArbiterDelayModel(const TechParams &tech)
+    : tech_(tech)
+{
+}
+
+double
+ArbiterDelayModel::treeWireMm(std::uint32_t leaves,
+                              bool crosses_columns) const
+{
+    // H-tree style placement along a column of tiles: the level-k
+    // arbiter sits midway between the level-(k-1) arbiters (or
+    // slices) it joins, so each upward hop doubles: pitch/2, pitch,
+    // 2*pitch, ... The worst-case request wire is the sum of hops
+    // from the farthest slice up to the segment root.
+    std::uint32_t column_leaves = crosses_columns ? leaves / 2 : leaves;
+    double hop = tech_.tilePitchMm / 2.0;
+    double total = 0.0;
+    for (std::uint32_t span = 2; span <= column_leaves; span *= 2) {
+        total += hop;
+        hop *= 2.0;
+    }
+    if (crosses_columns) {
+        // Top-level hop from a column root to the chip-center root.
+        total += tech_.columnSeparationMm / 4.0;
+    }
+    return total;
+}
+
+ArbiterTreeFigures
+ArbiterDelayModel::l2Tree() const
+{
+    ArbiterTreeFigures fig;
+    fig.levels = 3;
+    fig.numArbiters = 7; // per side of the chip
+    fig.totalAreaUm2 = fig.numArbiters * tech_.arbiterAreaUm2;
+    const double wire = treeWireMm(8, false) * tech_.wireDelayNsPerMm;
+    fig.requestWireNs = wire;
+    fig.requestLogicNs = fig.levels * tech_.requestLogicNsPerLevel;
+    fig.grantWireNs = wire;
+    fig.grantLogicNs = tech_.grantLogicNs;
+    return fig;
+}
+
+ArbiterTreeFigures
+ArbiterDelayModel::l3Tree() const
+{
+    ArbiterTreeFigures fig;
+    fig.levels = 4;
+    fig.numArbiters = 15; // across the whole chip
+    fig.totalAreaUm2 = fig.numArbiters * tech_.arbiterAreaUm2;
+    const double wire = treeWireMm(16, true) * tech_.wireDelayNsPerMm;
+    fig.requestWireNs = wire;
+    fig.requestLogicNs = fig.levels * tech_.requestLogicNsPerLevel;
+    fig.grantWireNs = wire;
+    fig.grantLogicNs = tech_.grantLogicNs;
+    return fig;
+}
+
+TransactionFigures
+ArbiterDelayModel::transaction() const
+{
+    TransactionFigures fig;
+    fig.busCycles = 3; // request + grant + data (Section 3.2)
+    const double ratio = tech_.coreClockGhz / tech_.busClockGhz;
+    fig.cpuCycles =
+        static_cast<std::uint32_t>(fig.busCycles * ratio + 0.5);
+    fig.cpuCyclesPipelined =
+        static_cast<std::uint32_t>((fig.busCycles - 1) * ratio + 0.5);
+    return fig;
+}
+
+} // namespace morphcache

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cache slice geometry.
+ */
+
+#ifndef MORPHCACHE_MEM_GEOMETRY_HH
+#define MORPHCACHE_MEM_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace morphcache {
+
+/**
+ * Geometry of a single physical cache slice.
+ *
+ * Merging slices never changes the set count: per the paper's
+ * footnote 1, merging two n-way slices of size S yields one 2n-way
+ * logical slice of size 2S, i.e. the ways add up and the sets stay.
+ * All slices at one level therefore share a geometry.
+ */
+struct CacheGeometry
+{
+    /** Total capacity of the slice in bytes. */
+    std::uint64_t sizeBytes = 0;
+    /** Ways per set in this physical slice. */
+    std::uint32_t assoc = 0;
+    /** Line (block) size in bytes. */
+    std::uint32_t lineBytes = 64;
+
+    /** Number of lines the slice can hold. */
+    std::uint64_t
+    numLines() const
+    {
+        return sizeBytes / lineBytes;
+    }
+
+    /** Number of sets in the slice. */
+    std::uint64_t
+    numSets() const
+    {
+        return numLines() / assoc;
+    }
+
+    /** Validate: power-of-2 sets/lines and nonzero fields. */
+    bool
+    valid() const
+    {
+        return sizeBytes > 0 && assoc > 0 && lineBytes > 0 &&
+               sizeBytes % lineBytes == 0 && numLines() % assoc == 0 &&
+               isPowerOf2(lineBytes) && isPowerOf2(numSets());
+    }
+
+    /** Line address (block number) for a byte address. */
+    Addr
+    lineAddr(Addr byte_addr) const
+    {
+        return byte_addr >> exactLog2(lineBytes);
+    }
+
+    /** Set index for a line address. */
+    std::uint64_t
+    setIndex(Addr line_addr) const
+    {
+        return line_addr & (numSets() - 1);
+    }
+
+    /** Tag for a line address. */
+    Addr
+    tag(Addr line_addr) const
+    {
+        return line_addr >> exactLog2(numSets());
+    }
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_MEM_GEOMETRY_HH

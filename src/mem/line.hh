@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cache line (way) state.
+ */
+
+#ifndef MORPHCACHE_MEM_LINE_HH
+#define MORPHCACHE_MEM_LINE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace morphcache {
+
+/**
+ * State of one way of one set in a physical slice.
+ *
+ * The full line address (block number) is stored rather than a tag so
+ * lines remain unambiguous when a slice participates in differently
+ * shaped logical groups over its lifetime.
+ */
+struct CacheLine
+{
+    /** Block number (byte address >> log2(lineBytes)). */
+    Addr lineAddr = 0;
+    /** Valid bit. */
+    bool valid = false;
+    /** Dirty (modified) bit. */
+    bool dirty = false;
+    /**
+     * Global recency stamp; larger is more recent. Doubles as the
+     * "ideal LRU timestamp" the paper mentions for merging LRU state.
+     */
+    std::uint64_t stamp = 0;
+    /**
+     * The line was hit at this level after its fill. Single-use
+     * (streaming) lines end their residency with this still clear,
+     * which is what keeps them out of the active-footprint estimate
+     * (Section 2.1 defines the ACF through *reuse*).
+     */
+    bool reused = false;
+};
+
+/** Result of filling a way: what was evicted, if anything. */
+struct Eviction
+{
+    /** True when a valid line was displaced. */
+    bool valid = false;
+    /** Block number of the displaced line. */
+    Addr lineAddr = 0;
+    /** Whether the displaced line was dirty (needs writeback). */
+    bool dirty = false;
+    /** Whether the displaced line had been reused at this level. */
+    bool reused = false;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_MEM_LINE_HH

@@ -1,0 +1,140 @@
+#include "mem/slice.hh"
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+CacheSlice::CacheSlice(SliceId id, const CacheGeometry &geom,
+                       ReplPolicy policy)
+    : id_(id), geom_(geom), policy_(policy),
+      lines_(geom.numLines()),
+      plru_(geom.numSets(), geom.assoc)
+{
+    MC_ASSERT(geom.valid());
+}
+
+std::uint64_t
+CacheSlice::index(std::uint64_t set, std::uint32_t way) const
+{
+    MC_ASSERT(set < geom_.numSets());
+    MC_ASSERT(way < geom_.assoc);
+    return set * geom_.assoc + way;
+}
+
+std::optional<std::uint32_t>
+CacheSlice::probe(Addr line_addr) const
+{
+    const std::uint64_t set = geom_.setIndex(line_addr);
+    const std::uint64_t base = set * geom_.assoc;
+    for (std::uint32_t way = 0; way < geom_.assoc; ++way) {
+        const CacheLine &line = lines_[base + way];
+        if (line.valid && line.lineAddr == line_addr)
+            return way;
+    }
+    return std::nullopt;
+}
+
+CacheLine &
+CacheSlice::lineAt(std::uint64_t set, std::uint32_t way)
+{
+    return lines_[index(set, way)];
+}
+
+const CacheLine &
+CacheSlice::lineAt(std::uint64_t set, std::uint32_t way) const
+{
+    return lines_[index(set, way)];
+}
+
+void
+CacheSlice::touch(std::uint64_t set, std::uint32_t way,
+                  std::uint64_t stamp)
+{
+    CacheLine &line = lines_[index(set, way)];
+    MC_ASSERT(line.valid);
+    line.stamp = stamp;
+    line.reused = true;
+    if (policy_ == ReplPolicy::TreePLRU)
+        plru_.tree(set).touch(way);
+}
+
+std::uint32_t
+CacheSlice::victimWay(std::uint64_t set) const
+{
+    const std::uint64_t base = set * geom_.assoc;
+    for (std::uint32_t way = 0; way < geom_.assoc; ++way) {
+        if (!lines_[base + way].valid)
+            return way;
+    }
+    if (policy_ == ReplPolicy::TreePLRU)
+        return plru_.tree(set).victim();
+
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = lines_[base].stamp;
+    for (std::uint32_t way = 1; way < geom_.assoc; ++way) {
+        if (lines_[base + way].stamp < oldest) {
+            oldest = lines_[base + way].stamp;
+            victim = way;
+        }
+    }
+    return victim;
+}
+
+Eviction
+CacheSlice::fill(std::uint64_t set, std::uint32_t way, Addr line_addr,
+                 bool dirty, std::uint64_t stamp)
+{
+    CacheLine &line = lines_[index(set, way)];
+    Eviction evicted;
+    if (line.valid) {
+        evicted.valid = true;
+        evicted.lineAddr = line.lineAddr;
+        evicted.dirty = line.dirty;
+        evicted.reused = line.reused;
+    }
+    line.lineAddr = line_addr;
+    line.valid = true;
+    line.dirty = dirty;
+    line.stamp = stamp;
+    line.reused = false;
+    if (policy_ == ReplPolicy::TreePLRU)
+        plru_.tree(set).touch(way);
+    return evicted;
+}
+
+Eviction
+CacheSlice::invalidate(Addr line_addr)
+{
+    Eviction evicted;
+    const auto way = probe(line_addr);
+    if (!way)
+        return evicted;
+    CacheLine &line = lines_[index(geom_.setIndex(line_addr), *way)];
+    evicted.valid = true;
+    evicted.lineAddr = line.lineAddr;
+    evicted.dirty = line.dirty;
+    evicted.reused = line.reused;
+    line.valid = false;
+    line.dirty = false;
+    return evicted;
+}
+
+void
+CacheSlice::invalidateAll()
+{
+    for (CacheLine &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+std::uint64_t
+CacheSlice::validLineCount() const
+{
+    std::uint64_t count = 0;
+    for (const CacheLine &line : lines_)
+        count += line.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace morphcache

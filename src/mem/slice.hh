@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A physical cache slice: the unit MorphCache merges and splits.
+ */
+
+#ifndef MORPHCACHE_MEM_SLICE_HH
+#define MORPHCACHE_MEM_SLICE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/geometry.hh"
+#include "mem/line.hh"
+#include "mem/replacement.hh"
+
+namespace morphcache {
+
+/**
+ * One physical slice of cache (e.g. one 256 KB 8-way L2 slice).
+ *
+ * A slice only stores state; *policy* over one or more slices (group
+ * lookup, cross-slice victim choice, inclusion) is implemented by
+ * SliceGroup in the hierarchy library. This split is what makes
+ * splitting a merged group O(1): every line physically lives in
+ * exactly one slice's ways at all times, so un-merging is just a
+ * change of view.
+ */
+class CacheSlice
+{
+  public:
+    /**
+     * @param id Dense identifier of this slice within its level.
+     * @param geom Slice geometry (validated).
+     * @param policy Replacement policy used for intra-slice victims.
+     */
+    CacheSlice(SliceId id, const CacheGeometry &geom,
+               ReplPolicy policy = ReplPolicy::LRU);
+
+    /** Slice identifier. */
+    SliceId id() const { return id_; }
+
+    /** Slice geometry. */
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Replacement policy in effect. */
+    ReplPolicy policy() const { return policy_; }
+
+    /**
+     * Look up a line in this slice.
+     * @return The way holding it, or std::nullopt on miss.
+     */
+    std::optional<std::uint32_t> probe(Addr line_addr) const;
+
+    /** Access the line at (set, way). */
+    CacheLine &lineAt(std::uint64_t set, std::uint32_t way);
+    const CacheLine &lineAt(std::uint64_t set, std::uint32_t way) const;
+
+    /**
+     * Record a hit on (set, way): bumps the recency stamp and the
+     * PLRU tree.
+     */
+    void touch(std::uint64_t set, std::uint32_t way, std::uint64_t stamp);
+
+    /**
+     * Way this slice would evict from `set`, preferring invalid
+     * ways, then the policy's victim.
+     */
+    std::uint32_t victimWay(std::uint64_t set) const;
+
+    /**
+     * Install `line_addr` into (set, way).
+     * @return What was displaced.
+     */
+    Eviction fill(std::uint64_t set, std::uint32_t way, Addr line_addr,
+                  bool dirty, std::uint64_t stamp);
+
+    /**
+     * Invalidate a line if present.
+     * @return The eviction record (valid=false if it wasn't here).
+     */
+    Eviction invalidate(Addr line_addr);
+
+    /** Invalidate every line in the slice. */
+    void invalidateAll();
+
+    /** Number of valid lines currently resident. */
+    std::uint64_t validLineCount() const;
+
+    /** Set index this slice uses for a line address. */
+    std::uint64_t
+    setIndex(Addr line_addr) const
+    {
+        return geom_.setIndex(line_addr);
+    }
+
+  private:
+    std::uint64_t index(std::uint64_t set, std::uint32_t way) const;
+
+    SliceId id_;
+    CacheGeometry geom_;
+    ReplPolicy policy_;
+    std::vector<CacheLine> lines_;
+    PlruState plru_;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_MEM_SLICE_HH

@@ -1,0 +1,470 @@
+#include "morph/controller.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace morphcache {
+
+MorphController::MorphController(const MorphConfig &config,
+                                 std::uint32_t num_cores)
+    : config_(config), numCores_(num_cores), msatNow_(config.msat),
+      msatL3Now_(config.msatL3),
+      l2MergeStamp_(num_cores, 0), l3MergeStamp_(num_cores, 0),
+      lastMissSnapshot_(num_cores, 0), prevEpochMisses_(num_cores, 0)
+{
+    MC_ASSERT(num_cores >= 2);
+    MC_ASSERT(config.msat.high > config.msat.low);
+}
+
+bool
+MorphController::mergeDesirable(const CacheLevelModel &level,
+                                const MsatConfig &msat,
+                                const std::vector<SliceId> &a,
+                                const std::vector<SliceId> &b) const
+{
+    const double ua = level.utilization(a);
+    const double ub = level.utilization(b);
+    const double h = msat.high;
+    const double l = msat.low;
+
+    // Condition (i): capacity sharing — one hot, one cold. The
+    // cold side must also be low-churn: a slice full of streaming
+    // fills reads a tiny *reused* footprint but offers no usable
+    // spare capacity (its fills would evict whatever the hot
+    // partner spills into it).
+    const double pa = level.fillPressure(a);
+    const double pb = level.fillPressure(b);
+    if ((ua > h && ub < l && pb < config_.coldChurnLimit) ||
+        (ub > h && ua < l && pa < config_.coldChurnLimit)) {
+        return true;
+    }
+
+    // Condition (ii): data sharing — one address space, both
+    // groups actively used, significant footprint overlap. The
+    // paper states this for two *highly* utilized slices; the
+    // replication/transfer savings it reasons from exist at any
+    // non-trivial utilization, and at this model's estimator scale
+    // an above-high gate would disable the sharing path entirely
+    // (DESIGN.md deviation 4), so the gate here is above-low.
+    if (config_.sharedAddressSpace && ua > l && ub > l &&
+        level.overlap(a, b) >= config_.sharingOverlapThreshold) {
+        return true;
+    }
+    return false;
+}
+
+bool
+MorphController::splitDesirable(const CacheLevelModel &level,
+                                const MsatConfig &msat,
+                                const std::vector<SliceId> &group) const
+{
+    if (group.size() < 2)
+        return false;
+    std::vector<SliceId> first, second;
+    splitGroup(group, first, second);
+    const double u1 = level.utilization(first);
+    const double u2 = level.utilization(second);
+    // Both halves hot: the merge no longer buys capacity sharing;
+    // it only costs merged-access latency and interference — unless
+    // the halves genuinely share data (Section 2.3 / Figure 6).
+    const double split_bar = msat.high * config_.splitHighFactor;
+    if (u1 > split_bar && u2 > split_bar) {
+        if (config_.sharedAddressSpace &&
+            level.overlap(first, second) >=
+                config_.sharingOverlapThreshold) {
+            return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+MorphController::mergeAllowed(const std::vector<SliceId> &a,
+                              const std::vector<SliceId> &b) const
+{
+    if (config_.allowNonNeighborGroups)
+        return true;
+    // Neighbors only: the ranges must be contiguous back-to-back.
+    const SliceId a_hi = a.back();
+    const SliceId b_lo = b.front();
+    if (a_hi + 1 != b_lo)
+        return false;
+    if (config_.allowArbitraryGroupSizes)
+        return true;
+    // Default mode: merged group must be an aligned power of two
+    // (private/dual/quad/oct/all-shared, Section 2).
+    const auto combined =
+        static_cast<std::uint32_t>(a.size() + b.size());
+    if (!isPowerOf2(combined))
+        return false;
+    return a.front() % combined == 0;
+}
+
+void
+MorphController::splitGroup(const std::vector<SliceId> &group,
+                            std::vector<SliceId> &first,
+                            std::vector<SliceId> &second)
+{
+    const std::size_t half = group.size() / 2;
+    first.assign(group.begin(), group.begin() + half);
+    second.assign(group.begin() + half, group.end());
+}
+
+void
+MorphController::noteEvent(const DecisionState &st, bool merge)
+{
+    if (merge)
+        ++stats_.merges;
+    else
+        ++stats_.splits;
+    Topology topo;
+    topo.numCores = numCores_;
+    topo.l2 = st.l2;
+    topo.l3 = st.l3;
+    if (!topo.isSymmetric())
+        ++stats_.asymmetricOutcomes;
+}
+
+namespace {
+
+/** Merge partition groups i and j (j > i) in place. */
+void
+mergeInto(Partition &partition, std::vector<char> &merged_now,
+          std::size_t i, std::size_t j)
+{
+    auto &dst = partition[i];
+    auto &src = partition[j];
+    dst.insert(dst.end(), src.begin(), src.end());
+    std::sort(dst.begin(), dst.end());
+    partition.erase(partition.begin() +
+                    static_cast<std::ptrdiff_t>(j));
+    merged_now[i] = 1;
+    merged_now.erase(merged_now.begin() +
+                     static_cast<std::ptrdiff_t>(j));
+}
+
+/** Index of the partition group containing a slice. */
+std::size_t
+groupIndexOf(const Partition &partition, SliceId slice)
+{
+    for (std::size_t g = 0; g < partition.size(); ++g) {
+        for (SliceId member : partition[g]) {
+            if (member == slice)
+                return g;
+        }
+    }
+    panic("slice %u not found in partition", slice);
+}
+
+} // namespace
+
+void
+MorphController::doL3Merges(const CacheLevelModel &l3,
+                            DecisionState &st)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i + 1 < st.l3.size() && !changed;
+             ++i) {
+            const std::size_t j_end = config_.allowNonNeighborGroups
+                                          ? st.l3.size()
+                                          : i + 2;
+            for (std::size_t j = i + 1; j < j_end; ++j) {
+                if (!mergeAllowed(st.l3[i], st.l3[j]))
+                    continue;
+                if (!mergeDesirable(l3, msatL3Now_, st.l3[i], st.l3[j]))
+                    continue;
+                mergeInto(st.l3, st.l3MergedNow, i, j);
+                ++st.merges;
+                noteEvent(st, true);
+                changed = true;
+                break;
+            }
+        }
+    }
+}
+
+void
+MorphController::doL2Merges(const CacheLevelModel &l2,
+                            const CacheLevelModel &l3,
+                            DecisionState &st)
+{
+    (void)l3; // covering L3 merges are structural, not ACF-driven
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i + 1 < st.l2.size() && !changed;
+             ++i) {
+            const std::size_t j_end = config_.allowNonNeighborGroups
+                                          ? st.l2.size()
+                                          : i + 2;
+            for (std::size_t j = i + 1; j < j_end; ++j) {
+                if (!mergeAllowed(st.l2[i], st.l2[j]))
+                    continue;
+                if (!mergeDesirable(l2, msatNow_, st.l2[i], st.l2[j]))
+                    continue;
+
+                // Inclusion (Section 2.2): the merged L2 group must
+                // be backed by a single L3 group; merge the covering
+                // L3 groups when they are distinct (always safe) and
+                // structurally mergeable.
+                const std::size_t g3a =
+                    groupIndexOf(st.l3, st.l2[i].front());
+                const std::size_t g3b =
+                    groupIndexOf(st.l3, st.l2[j].front());
+                if (g3a != g3b) {
+                    const std::size_t lo = std::min(g3a, g3b);
+                    const std::size_t hi = std::max(g3a, g3b);
+                    if (!mergeAllowed(st.l3[lo], st.l3[hi]))
+                        continue;
+                    // Non-neighbor mode aside, covering groups are
+                    // adjacent whenever the L2 groups are.
+                    if (!config_.allowNonNeighborGroups &&
+                        hi != lo + 1) {
+                        continue;
+                    }
+                    mergeInto(st.l3, st.l3MergedNow, lo, hi);
+                    ++st.merges;
+                    noteEvent(st, true);
+                }
+
+                mergeInto(st.l2, st.l2MergedNow, i, j);
+                ++st.merges;
+                noteEvent(st, true);
+                changed = true;
+                break;
+            }
+        }
+    }
+}
+
+void
+MorphController::doL2Splits(const CacheLevelModel &l2,
+                            DecisionState &st)
+{
+    for (std::size_t g = 0; g < st.l2.size(); ++g) {
+        if (st.l2MergedNow[g])
+            continue; // merge-aggressive exclusion
+        // Hysteresis: leave freshly merged groups alone.
+        const std::uint64_t l2_stamp = l2MergeStamp_[st.l2[g].front()];
+        if (st.l2[g].size() > 1 && l2_stamp != 0 &&
+            stats_.decisions <
+                l2_stamp + config_.minEpochsBeforeSplit) {
+            continue;
+        }
+        if (!splitDesirable(l2, msatNow_, st.l2[g]))
+            continue;
+        std::vector<SliceId> first, second;
+        splitGroup(st.l2[g], first, second);
+        st.l2[g] = std::move(first);
+        st.l2.insert(st.l2.begin() + static_cast<std::ptrdiff_t>(g) +
+                         1,
+                     std::move(second));
+        st.l2MergedNow.insert(st.l2MergedNow.begin() +
+                                  static_cast<std::ptrdiff_t>(g) + 1,
+                              0);
+        ++st.splits;
+        noteEvent(st, false);
+        ++g; // skip the freshly created second half
+    }
+}
+
+void
+MorphController::doL3Splits(const CacheLevelModel &l3,
+                            const CacheLevelModel &l2,
+                            DecisionState &st)
+{
+    for (std::size_t g = 0; g < st.l3.size(); ++g) {
+        if (st.l3MergedNow[g])
+            continue;
+        const std::uint64_t l3_stamp = l3MergeStamp_[st.l3[g].front()];
+        if (st.l3[g].size() > 1 && l3_stamp != 0 &&
+            stats_.decisions <
+                l3_stamp + config_.minEpochsBeforeSplit) {
+            continue;
+        }
+        if (!splitDesirable(l3, msatL3Now_, st.l3[g]))
+            continue;
+
+        std::vector<SliceId> first, second;
+        splitGroup(st.l3[g], first, second);
+
+        // Inclusion (Section 2.3): every L2 group under this L3
+        // group must fit within one half; straddling groups must
+        // themselves be splittable, else the L3 split is dropped.
+        auto in_half = [](const std::vector<SliceId> &group,
+                          const std::vector<SliceId> &half) {
+            for (SliceId member : group) {
+                if (std::find(half.begin(), half.end(), member) ==
+                    half.end()) {
+                    return false;
+                }
+            }
+            return true;
+        };
+
+        Partition new_l2 = st.l2;
+        std::vector<char> new_l2_merged = st.l2MergedNow;
+        std::uint64_t extra_splits = 0;
+        bool feasible = true;
+        for (std::size_t k = 0; k < new_l2.size() && feasible; ++k) {
+            const auto &group = new_l2[k];
+            // Only groups under this L3 group matter.
+            if (std::find(st.l3[g].begin(), st.l3[g].end(),
+                          group.front()) == st.l3[g].end()) {
+                continue;
+            }
+            if (in_half(group, first) || in_half(group, second))
+                continue;
+            if (new_l2_merged[k] || !splitDesirable(l2, msatNow_, group)) {
+                feasible = false;
+                break;
+            }
+            std::vector<SliceId> l2_first, l2_second;
+            splitGroup(group, l2_first, l2_second);
+            if (!(in_half(l2_first, first) &&
+                  in_half(l2_second, second))) {
+                feasible = false;
+                break;
+            }
+            new_l2[k] = std::move(l2_first);
+            new_l2.insert(new_l2.begin() +
+                              static_cast<std::ptrdiff_t>(k) + 1,
+                          std::move(l2_second));
+            new_l2_merged.insert(new_l2_merged.begin() +
+                                     static_cast<std::ptrdiff_t>(k) +
+                                     1,
+                                 0);
+            ++extra_splits;
+            ++k;
+        }
+        if (!feasible)
+            continue;
+
+        st.l2 = std::move(new_l2);
+        st.l2MergedNow = std::move(new_l2_merged);
+        st.l3[g] = std::move(first);
+        st.l3.insert(st.l3.begin() + static_cast<std::ptrdiff_t>(g) +
+                         1,
+                     std::move(second));
+        st.l3MergedNow.insert(st.l3MergedNow.begin() +
+                                  static_cast<std::ptrdiff_t>(g) + 1,
+                              0);
+        st.splits += 1 + extra_splits;
+        for (std::uint64_t e = 0; e < extra_splits; ++e)
+            noteEvent(st, false);
+        noteEvent(st, false);
+        ++g;
+    }
+}
+
+void
+MorphController::throttleMsat(const Hierarchy &hierarchy)
+{
+    std::vector<std::uint64_t> epoch_misses(numCores_, 0);
+    for (std::uint32_t c = 0; c < numCores_; ++c) {
+        const std::uint64_t cumulative =
+            hierarchy.coreStats(static_cast<CoreId>(c)).misses();
+        epoch_misses[c] = cumulative - lastMissSnapshot_[c];
+        lastMissSnapshot_[c] = cumulative;
+    }
+
+    if (havePrevEpoch_ && mergedLastEpoch_) {
+        // A merge happened last boundary: did it hurt anyone?
+        bool worse = false;
+        for (std::uint32_t c = 0; c < numCores_; ++c) {
+            const double before =
+                static_cast<double>(prevEpochMisses_[c]);
+            const double after =
+                static_cast<double>(epoch_misses[c]);
+            if (after >
+                before * (1.0 + config_.qosMissTolerance) + 16.0) {
+                worse = true;
+                break;
+            }
+        }
+        const double step =
+            worse ? config_.qosStep : -config_.qosStep;
+        // Throttle up (worse): drift toward a private
+        // configuration; throttle down: merge more aggressively.
+        msatNow_.high = std::clamp(msatNow_.high + step,
+                                   config_.msatHighMin,
+                                   config_.msatHighMax);
+        msatNow_.low = std::clamp(msatNow_.low - step,
+                                  config_.msatLowMin,
+                                  config_.msatLowMax);
+        msatL3Now_.high = std::clamp(msatL3Now_.high + step,
+                                     0.15, config_.msatHighMax);
+        msatL3Now_.low = std::clamp(msatL3Now_.low - step, 0.03,
+                                    config_.msatLowMax);
+        if (msatNow_.low > msatNow_.high - 0.05)
+            msatNow_.low = msatNow_.high - 0.05;
+        if (msatL3Now_.low > msatL3Now_.high - 0.05)
+            msatL3Now_.low = msatL3Now_.high - 0.05;
+    }
+
+    prevEpochMisses_ = std::move(epoch_misses);
+    havePrevEpoch_ = true;
+}
+
+void
+MorphController::epochBoundary(Hierarchy &hierarchy)
+{
+    ++stats_.decisions;
+
+    if (config_.qosThrottling)
+        throttleMsat(hierarchy);
+
+    DecisionState st;
+    st.l2 = hierarchy.topology().l2;
+    st.l3 = hierarchy.topology().l3;
+    st.l2MergedNow.assign(st.l2.size(), 0);
+    st.l3MergedNow.assign(st.l3.size(), 0);
+
+    const CacheLevelModel &l2 = hierarchy.l2();
+    const CacheLevelModel &l3 = hierarchy.l3();
+
+    if (config_.conflict == ConflictPolicy::MergeAggressive) {
+        doL3Merges(l3, st);
+        doL2Merges(l2, l3, st);
+        doL2Splits(l2, st);
+        doL3Splits(l3, l2, st);
+    } else {
+        doL2Splits(l2, st);
+        doL3Splits(l3, l2, st);
+        doL3Merges(l3, st);
+        doL2Merges(l2, l3, st);
+    }
+
+    mergedLastEpoch_ = st.merges > 0;
+
+    // Stamp freshly merged groups for the split hysteresis.
+    for (std::size_t g = 0; g < st.l2.size(); ++g) {
+        if (st.l2MergedNow[g]) {
+            for (SliceId s : st.l2[g])
+                l2MergeStamp_[s] = stats_.decisions;
+        }
+    }
+    for (std::size_t g = 0; g < st.l3.size(); ++g) {
+        if (st.l3MergedNow[g]) {
+            for (SliceId s : st.l3[g])
+                l3MergeStamp_[s] = stats_.decisions;
+        }
+    }
+
+    Topology topo;
+    topo.numCores = numCores_;
+    topo.l2 = std::move(st.l2);
+    topo.l3 = std::move(st.l3);
+    if (!(topo == hierarchy.topology())) {
+        ++stats_.activeEpochs;
+        hierarchy.reconfigure(topo);
+    }
+    hierarchy.resetFootprints();
+}
+
+} // namespace morphcache

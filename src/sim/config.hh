@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Matched hierarchy + generator configurations for experiments.
+ *
+ * Two scales are provided. *Paper scale* is Table 3 verbatim
+ * (256 KB L2 slices, 1 MB L3 slices, 300 M-cycle epochs in the
+ * original). *Fast scale* divides every capacity by 8 while keeping
+ * associativities, latencies, and all capacity *ratios* — and, with
+ * them, the ACFV coverage factors the workload model keys on —
+ * identical, so a 24 k-reference epoch exercises the same relative
+ * pressures a paper epoch did. The bench harnesses use fast scale
+ * by default and accept MC_PAPER_SCALE=1 to run Table 3 verbatim.
+ */
+
+#ifndef MORPHCACHE_SIM_CONFIG_HH
+#define MORPHCACHE_SIM_CONFIG_HH
+
+#include "hierarchy/hierarchy.hh"
+#include "workload/generator.hh"
+
+namespace morphcache {
+
+/**
+ * Generator parameters matched to a hierarchy: working-set scale
+ * anchors from the slice geometries and dispersion factors from
+ * the ACFV tag coverage (acfvBits / assoc).
+ */
+GeneratorParams generatorFor(const HierarchyParams &params);
+
+/** Table 3 verbatim. */
+HierarchyParams paperScaleHierarchy(std::uint32_t num_cores = 16);
+
+/** Capacities / 8, everything else identical. */
+HierarchyParams fastScaleHierarchy(std::uint32_t num_cores = 16);
+
+/**
+ * The experiment hierarchy scale: fast scale unless the
+ * MC_PAPER_SCALE environment variable is set to a nonzero value.
+ */
+HierarchyParams experimentHierarchy(std::uint32_t num_cores = 16);
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_SIM_CONFIG_HH

@@ -1,0 +1,36 @@
+#include "sim/energy.hh"
+
+namespace morphcache {
+
+EnergyBreakdown
+accountEnergy(const Hierarchy &hierarchy, const EnergyParams &params)
+{
+    EnergyBreakdown out;
+
+    std::uint64_t l1_accesses = 0;
+    std::uint64_t mem_accesses = 0;
+    for (std::uint32_t c = 0; c < hierarchy.numCores(); ++c) {
+        const CoreStats &stats =
+            hierarchy.coreStats(static_cast<CoreId>(c));
+        l1_accesses += stats.accesses; // every reference probes L1
+        mem_accesses += stats.memAccesses;
+    }
+    out.l1 = static_cast<double>(l1_accesses) * params.l1AccessPj;
+    out.memory =
+        static_cast<double>(mem_accesses) * params.memAccessPj;
+
+    const LevelStats &l2 = hierarchy.l2().stats();
+    const LevelStats &l3 = hierarchy.l3().stats();
+    out.l2 = static_cast<double>(l2.sliceProbes) *
+             params.l2SliceAccessPj;
+    out.l3 = static_cast<double>(l3.sliceProbes) *
+             params.l3SliceAccessPj;
+    out.bus = static_cast<double>(l2.busEvents + l3.busEvents) *
+                  params.busBasePj +
+              static_cast<double>(l2.busSpanTiles +
+                                  l3.busSpanTiles) *
+                  params.busPerTilePj;
+    return out;
+}
+
+} // namespace morphcache

@@ -1,0 +1,100 @@
+#include "sim/memory_system.hh"
+
+namespace morphcache {
+
+namespace {
+
+HierarchyParams
+withBusPenalty(HierarchyParams params, bool charge)
+{
+    params.l2.chargeBusPenalty = charge;
+    params.l3.chargeBusPenalty = charge;
+    return params;
+}
+
+} // namespace
+
+namespace {
+
+HierarchyParams
+staticLatencyModel(HierarchyParams params, bool charge_remote)
+{
+    // A static shared topology is served by a fixed interconnect
+    // (crossbar / NUCA fabric): remote slices cost the same extra
+    // wire latency a merged MorphCache slice does, but there is no
+    // segmented-bus serialization to pay.
+    params.l2.chargeBusPenalty = false;
+    params.l3.chargeBusPenalty = false;
+    params.l2.remoteHitExtraCycles = charge_remote ? 15 : 0;
+    params.l3.remoteHitExtraCycles = charge_remote ? 15 : 0;
+    return params;
+}
+
+} // namespace
+
+StaticTopologySystem::StaticTopologySystem(HierarchyParams params,
+                                           const Topology &topology,
+                                           bool charge_bus)
+    : hierarchy_(staticLatencyModel(std::move(params), charge_bus))
+{
+    hierarchy_.reconfigure(topology);
+}
+
+AccessResult
+StaticTopologySystem::access(const MemAccess &access, Cycle now)
+{
+    return hierarchy_.access(access, now);
+}
+
+const CoreStats &
+StaticTopologySystem::coreStats(CoreId core) const
+{
+    return hierarchy_.coreStats(core);
+}
+
+std::uint32_t
+StaticTopologySystem::numCores() const
+{
+    return hierarchy_.numCores();
+}
+
+std::string
+StaticTopologySystem::name() const
+{
+    return hierarchy_.topology().name();
+}
+
+MorphCacheSystem::MorphCacheSystem(HierarchyParams params,
+                                   const MorphConfig &config)
+    : hierarchy_(withBusPenalty(std::move(params), true)),
+      controller_(config, hierarchy_.numCores())
+{
+    // MorphCache starts from the per-core private design point
+    // (Section 2), which is the hierarchy's default topology.
+}
+
+AccessResult
+MorphCacheSystem::access(const MemAccess &access, Cycle now)
+{
+    return hierarchy_.access(access, now);
+}
+
+void
+MorphCacheSystem::epochBoundary()
+{
+    controller_.epochBoundary(hierarchy_);
+}
+
+const CoreStats &
+MorphCacheSystem::coreStats(CoreId core) const
+{
+    return hierarchy_.coreStats(core);
+}
+
+std::uint32_t
+MorphCacheSystem::numCores() const
+{
+    return hierarchy_.numCores();
+}
+
+} // namespace morphcache

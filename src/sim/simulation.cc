@@ -1,0 +1,85 @@
+#include "sim/simulation.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "stats/metrics.hh"
+
+namespace morphcache {
+
+Simulation::Simulation(MemorySystem &system, Workload &workload,
+                       const SimParams &params)
+    : system_(system), workload_(workload), params_(params),
+      cycles_(workload.numCores(), 0.0),
+      instrs_(workload.numCores(), 0.0)
+{
+    MC_ASSERT(system.numCores() >= workload.numCores());
+    MC_ASSERT(params_.refsPerEpochPerCore > 0);
+}
+
+EpochMetrics
+Simulation::runEpoch(EpochId epoch)
+{
+    const std::uint32_t cores = workload_.numCores();
+
+    std::vector<double> cycles_start = cycles_;
+    std::vector<double> instr_start = instrs_;
+    std::vector<std::uint64_t> misses_start(cores, 0);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        misses_start[c] =
+            system_.coreStats(static_cast<CoreId>(c)).misses();
+    }
+
+    workload_.beginEpoch(epoch);
+    runEpochAccesses(system_, workload_, params_.core,
+                     params_.refsPerEpochPerCore, cycles_, instrs_);
+    system_.epochBoundary();
+
+    EpochMetrics metrics;
+    metrics.ipc.resize(cores);
+    metrics.misses.resize(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        const double dcycles = cycles_[c] - cycles_start[c];
+        const double dinstr = instrs_[c] - instr_start[c];
+        metrics.ipc[c] = dcycles > 0.0 ? dinstr / dcycles : 0.0;
+        metrics.misses[c] =
+            system_.coreStats(static_cast<CoreId>(c)).misses() -
+            misses_start[c];
+    }
+    metrics.throughput = throughput(metrics.ipc);
+    return metrics;
+}
+
+RunResult
+Simulation::run()
+{
+    const std::uint32_t cores = workload_.numCores();
+    RunResult result;
+
+    for (std::uint32_t w = 0; w < params_.warmupEpochs; ++w)
+        runEpoch(nextEpoch_++);
+
+    const std::vector<double> cycles_start = cycles_;
+    const std::vector<double> instr_start = instrs_;
+
+    result.epochs.reserve(params_.epochs);
+    for (std::uint32_t e = 0; e < params_.epochs; ++e)
+        result.epochs.push_back(runEpoch(nextEpoch_++));
+
+    result.avgIpc.resize(cores);
+    double max_cycles = 0.0;
+    double total_instr = 0.0;
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        const double dcycles = cycles_[c] - cycles_start[c];
+        const double dinstr = instrs_[c] - instr_start[c];
+        result.avgIpc[c] = dcycles > 0.0 ? dinstr / dcycles : 0.0;
+        max_cycles = std::max(max_cycles, dcycles);
+        total_instr += dinstr;
+    }
+    result.avgThroughput = throughput(result.avgIpc);
+    result.performance =
+        max_cycles > 0.0 ? total_instr / max_cycles : 0.0;
+    return result;
+}
+
+} // namespace morphcache

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Epoch-driven simulation: drives a Workload through a
+ * MemorySystem with the analytical core model, collecting the
+ * metrics every figure in the paper is built from.
+ */
+
+#ifndef MORPHCACHE_SIM_SIMULATION_HH
+#define MORPHCACHE_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/core_model.hh"
+#include "sim/memory_system.hh"
+#include "workload/generator.hh"
+
+namespace morphcache {
+
+/** Metrics of one recorded epoch. */
+struct EpochMetrics
+{
+    /** Per-core IPC over the epoch. */
+    std::vector<double> ipc;
+    /** Sum of per-core IPCs (the paper's throughput). */
+    double throughput = 0.0;
+    /** Per-core misses to memory during the epoch. */
+    std::vector<std::uint64_t> misses;
+};
+
+/** Metrics of a full run. */
+struct RunResult
+{
+    std::vector<EpochMetrics> epochs;
+    /** Per-core IPC over all recorded epochs. */
+    std::vector<double> avgIpc;
+    /** Average throughput across recorded epochs. */
+    double avgThroughput = 0.0;
+    /**
+     * Multithreaded performance: total instructions over the
+     * slowest core's cycles (inverse execution time, Section 5.2).
+     */
+    double performance = 0.0;
+};
+
+/** Simulation configuration. */
+struct SimParams
+{
+    CoreModelParams core;
+    /** References each core issues per epoch. */
+    std::uint64_t refsPerEpochPerCore = 24000;
+    /** Recorded epochs. */
+    std::uint32_t epochs = 20;
+    /** Unrecorded cache-warmup epochs. */
+    std::uint32_t warmupEpochs = 2;
+};
+
+/**
+ * Drives one workload through one memory system.
+ */
+class Simulation
+{
+  public:
+    /**
+     * @param system Memory system under test (not owned).
+     * @param workload Reference streams (not owned).
+     * @param params Run parameters.
+     */
+    Simulation(MemorySystem &system, Workload &workload,
+               const SimParams &params);
+
+    /** Run warmup + recorded epochs and aggregate. */
+    RunResult run();
+
+    /**
+     * Run a single epoch (after beginEpoch on the workload) and
+     * return its metrics. Exposed for the step-by-step harnesses.
+     */
+    EpochMetrics runEpoch(EpochId epoch);
+
+  private:
+    MemorySystem &system_;
+    Workload &workload_;
+    SimParams params_;
+    /** Per-core cycle clocks (fractional accumulation). */
+    std::vector<double> cycles_;
+    /** Per-core retired instructions. */
+    std::vector<double> instrs_;
+    EpochId nextEpoch_ = 0;
+};
+
+/**
+ * Core-model epoch driver over any object with
+ * `AccessResult access(const MemAccess&, Cycle)` — used directly by
+ * the ideal offline scheme, which drives bare Hierarchy objects
+ * restored from checkpoints.
+ *
+ * Cores are interleaved reference-by-reference in round-robin
+ * order, which approximates concurrent execution closely enough
+ * for the shared-state interactions that matter here (bus
+ * busy-until tracking and shared-cache contention).
+ */
+template <typename System>
+void
+runEpochAccesses(System &system, Workload &workload,
+                 const CoreModelParams &core_params,
+                 std::uint64_t refs_per_core,
+                 std::vector<double> &cycles,
+                 std::vector<double> &instrs)
+{
+    const std::uint32_t cores = workload.numCores();
+    for (std::uint64_t r = 0; r < refs_per_core; ++r) {
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            const MemAccess access =
+                workload.next(static_cast<CoreId>(c));
+            const AccessResult result = system.access(
+                access, static_cast<Cycle>(cycles[c]));
+            cycles[c] += core_params.cyclesForAccess(result.latency);
+            instrs[c] += core_params.instrPerAccess;
+        }
+    }
+}
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_SIM_SIMULATION_HH

@@ -1,0 +1,84 @@
+#include "sim/tiled.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+TiledMorphSystem::TiledMorphSystem(const HierarchyParams &per_tile,
+                                   const MorphConfig &config,
+                                   std::uint32_t num_tiles)
+    : coresPerTile_(per_tile.numCores)
+{
+    MC_ASSERT(num_tiles >= 1);
+    if (coresPerTile_ > 16) {
+        warn("tile size %u exceeds the paper's 16-core guidance",
+             coresPerTile_);
+    }
+    tiles_.reserve(num_tiles);
+    for (std::uint32_t t = 0; t < num_tiles; ++t) {
+        tiles_.push_back(
+            std::make_unique<MorphCacheSystem>(per_tile, config));
+    }
+}
+
+AccessResult
+TiledMorphSystem::access(const MemAccess &access, Cycle now)
+{
+    const std::uint32_t tile = access.core / coresPerTile_;
+    MC_ASSERT(tile < tiles_.size());
+    MemAccess local = access;
+    local.core = static_cast<CoreId>(access.core % coresPerTile_);
+    return tiles_[tile]->access(local, now);
+}
+
+void
+TiledMorphSystem::epochBoundary()
+{
+    for (auto &tile : tiles_)
+        tile->epochBoundary();
+}
+
+const CoreStats &
+TiledMorphSystem::coreStats(CoreId core) const
+{
+    const std::uint32_t tile = core / coresPerTile_;
+    MC_ASSERT(tile < tiles_.size());
+    return tiles_[tile]->coreStats(
+        static_cast<CoreId>(core % coresPerTile_));
+}
+
+std::uint32_t
+TiledMorphSystem::numCores() const
+{
+    return coresPerTile_ *
+           static_cast<std::uint32_t>(tiles_.size());
+}
+
+std::string
+TiledMorphSystem::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "TiledMorphCache(%zux%u)",
+                  tiles_.size(), coresPerTile_);
+    return buf;
+}
+
+MorphCacheSystem &
+TiledMorphSystem::tile(std::uint32_t index)
+{
+    MC_ASSERT(index < tiles_.size());
+    return *tiles_[index];
+}
+
+std::uint64_t
+TiledMorphSystem::totalReconfigurations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &tile : tiles_)
+        total += tile->controller().stats().reconfigurations();
+    return total;
+}
+
+} // namespace morphcache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tile-based scaling (paper Section 5.5).
+ *
+ * The segmented bus does not scale efficiently beyond 16 cores, so
+ * the paper proposes that larger CMPs be built as tiles of at most
+ * 16 cores, each tile's hierarchy managed as an independent
+ * MorphCache, with threads that share data scheduled onto the same
+ * tile and a scalable network between tiles. This class implements
+ * exactly that composition: N MorphCache-managed hierarchies side
+ * by side behind one MemorySystem interface, with a global-to-tile
+ * core mapping. Cross-tile traffic does not arise when the
+ * scheduler honors the sharing-locality rule the paper states,
+ * which the workload mapping in the tiled_scaling bench follows.
+ */
+
+#ifndef MORPHCACHE_SIM_TILED_HH
+#define MORPHCACHE_SIM_TILED_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/memory_system.hh"
+
+namespace morphcache {
+
+/**
+ * A CMP built from independent MorphCache tiles.
+ */
+class TiledMorphSystem : public MemorySystem
+{
+  public:
+    /**
+     * @param per_tile Hierarchy parameters of one tile (its core
+     *        count is the tile size, at most 16 per the paper).
+     * @param config Controller configuration (shared by all tiles).
+     * @param num_tiles Number of tiles.
+     */
+    TiledMorphSystem(const HierarchyParams &per_tile,
+                     const MorphConfig &config,
+                     std::uint32_t num_tiles);
+
+    AccessResult access(const MemAccess &access, Cycle now) override;
+    void epochBoundary() override;
+    const CoreStats &coreStats(CoreId core) const override;
+    std::uint32_t numCores() const override;
+    std::string name() const override;
+
+    /** Number of tiles. */
+    std::uint32_t numTiles() const
+    {
+        return static_cast<std::uint32_t>(tiles_.size());
+    }
+
+    /** Cores per tile. */
+    std::uint32_t coresPerTile() const { return coresPerTile_; }
+
+    /** One tile's system (stats, tests). */
+    MorphCacheSystem &tile(std::uint32_t index);
+
+    /** Total reconfigurations across all tiles. */
+    std::uint64_t totalReconfigurations() const;
+
+  private:
+    std::uint32_t coresPerTile_;
+    std::vector<std::unique_ptr<MorphCacheSystem>> tiles_;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_SIM_TILED_HH

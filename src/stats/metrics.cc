@@ -1,0 +1,49 @@
+#include "stats/metrics.hh"
+
+#include "common/logging.hh"
+#include "stats/stats.hh"
+
+namespace morphcache {
+
+double
+throughput(const std::vector<double> &ipcs)
+{
+    double sum = 0.0;
+    for (double ipc : ipcs)
+        sum += ipc;
+    return sum;
+}
+
+namespace {
+
+std::vector<double>
+speedups(const std::vector<double> &ipcs,
+         const std::vector<double> &ref_ipcs)
+{
+    MC_ASSERT(ipcs.size() == ref_ipcs.size());
+    std::vector<double> result;
+    result.reserve(ipcs.size());
+    for (std::size_t i = 0; i < ipcs.size(); ++i) {
+        MC_ASSERT(ref_ipcs[i] > 0.0);
+        result.push_back(ipcs[i] / ref_ipcs[i]);
+    }
+    return result;
+}
+
+} // namespace
+
+double
+weightedSpeedup(const std::vector<double> &ipcs,
+                const std::vector<double> &ref_ipcs)
+{
+    return mean(speedups(ipcs, ref_ipcs));
+}
+
+double
+fairSpeedup(const std::vector<double> &ipcs,
+            const std::vector<double> &ref_ipcs)
+{
+    return harmonicMean(speedups(ipcs, ref_ipcs));
+}
+
+} // namespace morphcache

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * System-level performance metrics used throughout the evaluation.
+ *
+ * Throughput is the sum of per-core IPCs (the paper's primary
+ * metric); weighted speedup gives each application equal weight
+ * relative to a reference run; fair speedup is the harmonic mean of
+ * per-application speedups (Smith [25]), balancing fairness and
+ * performance.
+ */
+
+#ifndef MORPHCACHE_STATS_METRICS_HH
+#define MORPHCACHE_STATS_METRICS_HH
+
+#include <vector>
+
+namespace morphcache {
+
+/** Sum of per-core IPCs. */
+double throughput(const std::vector<double> &ipcs);
+
+/**
+ * Weighted speedup: (1/N) * sum_i ipc_i / ref_ipc_i.
+ *
+ * @param ipcs Per-application IPCs under the evaluated scheme.
+ * @param ref_ipcs Per-application IPCs under the reference scheme.
+ */
+double weightedSpeedup(const std::vector<double> &ipcs,
+                       const std::vector<double> &ref_ipcs);
+
+/**
+ * Fair speedup: harmonic mean of per-application speedups
+ * ipc_i / ref_ipc_i.
+ */
+double fairSpeedup(const std::vector<double> &ipcs,
+                   const std::vector<double> &ref_ipcs);
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_STATS_METRICS_HH

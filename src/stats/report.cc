@@ -1,0 +1,74 @@
+#include "stats/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+std::string
+csvString(const std::vector<Series> &series)
+{
+    std::string out = "index";
+    std::size_t rows = 0;
+    for (const Series &s : series) {
+        out += ',';
+        out += s.name;
+        rows = std::max(rows, s.values.size());
+    }
+    out += '\n';
+    char buf[64];
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::snprintf(buf, sizeof(buf), "%zu", i);
+        out += buf;
+        for (const Series &s : series) {
+            out += ',';
+            if (i < s.values.size()) {
+                std::snprintf(buf, sizeof(buf), "%.6g",
+                              s.values[i]);
+                out += buf;
+            }
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeCsv(const std::string &path, const std::vector<Series> &series)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    const std::string body = csvString(series);
+    std::fwrite(body.data(), 1, body.size(), f);
+    if (std::fclose(f) != 0)
+        fatal("error writing '%s'", path.c_str());
+}
+
+std::string
+summaryLine(const Series &series)
+{
+    double sum = 0.0;
+    double lo = 0.0, hi = 0.0;
+    if (!series.values.empty()) {
+        lo = hi = series.values.front();
+        for (double v : series.values) {
+            sum += v;
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    const double mean =
+        series.values.empty()
+            ? 0.0
+            : sum / static_cast<double>(series.values.size());
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-20s mean %9.4f  min %9.4f  max %9.4f",
+                  series.name.c_str(), mean, lo, hi);
+    return buf;
+}
+
+} // namespace morphcache

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Result export: CSV series for plotting and a compact
+ * human-readable summary. The bench binaries print paper-style
+ * tables; downstream users plotting their own sweeps want machine-
+ * readable output, which is what these helpers provide.
+ */
+
+#ifndef MORPHCACHE_STATS_REPORT_HH
+#define MORPHCACHE_STATS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace morphcache {
+
+/** One named series of values (e.g. per-epoch throughput). */
+struct Series
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/**
+ * Write aligned series as CSV: header `index,<name>,...`, one row
+ * per index; shorter series pad with empty cells. fatal() on I/O
+ * error.
+ */
+void writeCsv(const std::string &path,
+              const std::vector<Series> &series);
+
+/** Render the same data as a CSV string (tests, stdout). */
+std::string csvString(const std::vector<Series> &series);
+
+/**
+ * Minimal summary row formatting: name, mean, min, max — used by
+ * the CLI tool's end-of-run report.
+ */
+std::string summaryLine(const Series &series);
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_STATS_REPORT_HH

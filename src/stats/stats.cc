@@ -1,0 +1,131 @@
+#include "stats/stats.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+pearsonCorrelation(const std::vector<double> &xs,
+                   const std::vector<double> &ys)
+{
+    MC_ASSERT(xs.size() == ys.size());
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += xs[i];
+        my += ys[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double inv = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
+        inv += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / inv;
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    MC_ASSERT(hi > lo);
+    MC_ASSERT(buckets > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    long idx = static_cast<long>(std::floor((x - lo_) / width));
+    if (idx < 0)
+        idx = 0;
+    if (idx >= static_cast<long>(counts_.size()))
+        idx = static_cast<long>(counts_.size()) - 1;
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    MC_ASSERT(i < counts_.size());
+    return counts_[i];
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    MC_ASSERT(i < counts_.size());
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+} // namespace morphcache

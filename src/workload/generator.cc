@@ -1,0 +1,401 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace morphcache {
+
+namespace {
+
+/** Clamp an ACF fraction into a usable range. */
+double
+clampFraction(double f)
+{
+    return std::clamp(f, 0.05, 0.93);
+}
+
+/**
+ * Invert a capacity-clipped ACF observation into true demand (in
+ * capacity units): ACF = 1 - exp(-demand/capacity).
+ */
+double
+demandFromAcf(double acf, bool invert)
+{
+    return invert ? -std::log(1.0 - acf) : acf;
+}
+
+/** Private line-address region of a stream. */
+Addr
+privateRegionBase(CoreId core)
+{
+    // Generous disjoint regions with high-entropy placement:
+    // regular bases (e.g. core << 32) partially collide under the
+    // ACFV's XOR fold and read as false sharing between unrelated
+    // threads, exactly like regular page-coloring artifacts would
+    // in hardware. Addresses are line numbers, aligned to 2^20
+    // lines.
+    std::uint64_t sm = 0x517cc1b727220a95ULL + core;
+    return (splitMix64(sm) & 0x3ffff) << 20 | (Addr{1} << 40);
+}
+
+} // namespace
+
+WorkingSet
+CoreRefGenerator::layoutWorkingSet(Addr base, double demand,
+                                   double acf_fraction,
+                                   std::uint64_t slice_lines,
+                                   double coverage_factor,
+                                   std::uint32_t acfv_bits)
+{
+    WorkingSet set;
+    set.base = base;
+    const auto granule = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(slice_lines) * coverage_factor /
+               acfv_bits));
+    set.stride = granule;
+    set.chunkCount = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(acf_fraction * acfv_bits));
+    const auto lines = std::max<std::uint64_t>(
+        32, static_cast<std::uint64_t>(
+                demand * static_cast<double>(slice_lines)));
+    set.chunkLines =
+        std::clamp<std::uint64_t>(lines / set.chunkCount, 1, granule);
+    return set;
+}
+
+CoreRefGenerator::CoreRefGenerator(const BenchmarkProfile &profile,
+                                   CoreId core,
+                                   const GeneratorParams &params,
+                                   std::uint64_t seed,
+                                   double spatial_offset)
+    : profile_(profile), core_(core), params_(params),
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (core + 1))),
+      spatialOffset_(spatial_offset),
+      privateBase_(privateRegionBase(core)),
+      ring_(params.recentRing, privateRegionBase(core)),
+      ringShared_(params.recentRing, false)
+{
+    MC_ASSERT(params_.recentRing > 0);
+    beginEpoch(0);
+}
+
+void
+CoreRefGenerator::setSharedRegion(const SharedRegionSpec &spec)
+{
+    shared_ = spec;
+}
+
+void
+CoreRefGenerator::beginEpoch(EpochId epoch)
+{
+    // Per-epoch footprint fractions: Table 4 mean + AR(1) temporal
+    // noise (+ the per-thread spatial offset for multithreaded
+    // apps), scaled down during persistent low-footprint phases.
+    inLowPhase_ = inLowPhase_
+                      ? rng_.chance(params_.lowPhaseStayProb)
+                      : rng_.chance(params_.lowPhaseEnterProb);
+    const double phase = inLowPhase_ ? params_.lowPhaseScale : 1.0;
+    const double rho = params_.noiseAr1;
+    const double fresh = std::sqrt(
+        std::max(0.0, 1.0 - rho * rho));
+    noise2_ = rho * noise2_ + fresh * rng_.gaussian();
+    noise3_ = rho * noise3_ + fresh * rng_.gaussian();
+    const double f2 = clampFraction(
+        phase * (profile_.l2Acf + profile_.l2SigmaT * noise2_ +
+                 spatialOffset_));
+    const double f3 = clampFraction(
+        phase * (profile_.l3Acf + profile_.l3SigmaT * noise3_ +
+                 spatialOffset_));
+
+    const double d2 = params_.demandScale *
+                      demandFromAcf(f2, params_.invertAcfDemand);
+    const double d3 = params_.demandScale *
+                      demandFromAcf(f3, params_.invertAcfDemand);
+
+    // Hot set: anchored to the L2 scale.
+    WorkingSet hot = layoutWorkingSet(
+        0, d2, f2, params_.l2SliceLines, params_.l2CoverageFactor,
+        params_.acfvBits);
+
+    // Slow forward drift creates fresh (compulsory-miss) lines and
+    // the phase behaviour behind Figure 2(a).
+    const auto drift = static_cast<Addr>(
+        params_.driftFraction * static_cast<double>(hot.spanLines()));
+    hot.base = privateBase_ + drift * epoch;
+    hot_ = hot;
+
+    // Mid set: anchored to the L3 scale, minus what the hot span
+    // already contributes to the L3 footprint.
+    const auto l3_granule = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(params_.l3SliceLines) *
+               params_.l3CoverageFactor / params_.acfvBits));
+    const std::uint64_t hot_l3_granules =
+        hot_.spanLines() / l3_granule + 1;
+    const double target_granules = f3 * params_.acfvBits;
+    const std::uint64_t mid_granules = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(target_granules) >
+                   hot_l3_granules
+               ? static_cast<std::uint64_t>(target_granules) -
+                     hot_l3_granules
+               : 1);
+    const auto d3_lines = static_cast<std::uint64_t>(
+        d3 * static_cast<double>(params_.l3SliceLines));
+    const std::uint64_t mid_lines =
+        std::max<std::uint64_t>(64, d3_lines > hot_.lines()
+                                        ? d3_lines - hot_.lines()
+                                        : 64);
+    WorkingSet mid;
+    mid.base = hot_.base + hot_.spanLines() + l3_granule;
+    mid.stride = l3_granule;
+    mid.chunkCount = mid_granules;
+    mid.chunkLines = std::clamp<std::uint64_t>(
+        mid_lines / mid_granules, 1, l3_granule);
+    mid_ = mid;
+    if (midPos_ >= mid_.lines())
+        midPos_ = 0;
+
+    if (streamPtr_ == 0)
+        streamPtr_ = privateBase_ + (Addr{1} << 28);
+}
+
+Addr
+CoreRefGenerator::drawLine()
+{
+    const double stream_frac =
+        profile_.cls >= 0
+            ? params_.streamFractionByClass[profile_.cls]
+            : params_.parsecStreamFraction;
+    const double r = rng_.uniform();
+    lastShared_ = false;
+    if (r < stream_frac)
+        return streamPtr_++;
+    const double working = (r - stream_frac) / (1.0 - stream_frac);
+    if (working < params_.hotShare) {
+        // Reuse over the hot set, concentrated on the inner tier.
+        lastShared_ = shared_.fraction > 0.0 &&
+                      rng_.chance(shared_.fraction);
+        const WorkingSet &hot = lastShared_ ? shared_.hot : hot_;
+        if (rng_.chance(params_.innerHotShare)) {
+            // The inner tier is additionally capped at a fraction
+            // of one L2 slice: a program's innermost loops fit its
+            // local cache whatever the total footprint is.
+            const auto cap = std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       0.4 * static_cast<double>(
+                                 params_.l2SliceLines)));
+            const auto inner = std::clamp<std::uint64_t>(
+                static_cast<std::uint64_t>(
+                    params_.innerHotFraction *
+                    static_cast<double>(hot.lines())),
+                1, cap);
+            return hot.lineAt(rng_.below(inner));
+        }
+        return hot.lineAt(rng_.below(hot.lines()));
+    }
+    // The mid set is *swept* cyclically: real programs walk their
+    // large working sets in passes, so the L2-resident window stays
+    // small while the full set cycles through the L3.
+    if (shared_.fraction > 0.0 && rng_.chance(shared_.fraction)) {
+        lastShared_ = true;
+        const Addr line = shared_.mid.lineAt(sharedMidPos_);
+        sharedMidPos_ = (sharedMidPos_ + 1) % shared_.mid.lines();
+        return line;
+    }
+    const Addr line = mid_.lineAt(midPos_);
+    midPos_ = (midPos_ + 1) % mid_.lines();
+    return line;
+}
+
+MemAccess
+CoreRefGenerator::next()
+{
+    Addr line;
+    bool shared;
+    if (rng_.chance(params_.recentFraction)) {
+        const auto slot = rng_.below(ring_.size());
+        line = ring_[slot];
+        shared = ringShared_[slot];
+    } else {
+        line = drawLine();
+        shared = lastShared_;
+        ring_[ringNext_] = line;
+        ringShared_[ringNext_] = shared;
+        ringNext_ = (ringNext_ + 1) % ring_.size();
+    }
+    MemAccess access;
+    access.core = core_;
+    access.addr = line << 6; // 64-byte lines
+    const double write_frac = shared ? params_.sharedWriteFraction
+                                     : params_.writeFraction;
+    access.type = rng_.chance(write_frac) ? AccessType::Write
+                                          : AccessType::Read;
+    return access;
+}
+
+// --- MixWorkload --------------------------------------------------
+
+MixWorkload::MixWorkload(const MixSpec &spec,
+                         const GeneratorParams &params,
+                         std::uint64_t seed)
+    : name_(spec.name)
+{
+    MC_ASSERT(!spec.benchmarks.empty());
+    gens_.reserve(spec.benchmarks.size());
+    for (std::size_t i = 0; i < spec.benchmarks.size(); ++i) {
+        gens_.emplace_back(profileByName(spec.benchmarks[i]),
+                           static_cast<CoreId>(i), params,
+                           seed + 0x1000 * i);
+    }
+}
+
+MemAccess
+MixWorkload::next(CoreId core)
+{
+    MC_ASSERT(core < gens_.size());
+    return gens_[core].next();
+}
+
+void
+MixWorkload::beginEpoch(EpochId epoch)
+{
+    for (auto &gen : gens_)
+        gen.beginEpoch(epoch);
+}
+
+std::uint32_t
+MixWorkload::numCores() const
+{
+    return static_cast<std::uint32_t>(gens_.size());
+}
+
+std::unique_ptr<Workload>
+MixWorkload::clone() const
+{
+    return std::make_unique<MixWorkload>(*this);
+}
+
+CoreRefGenerator &
+MixWorkload::core(CoreId core)
+{
+    MC_ASSERT(core < gens_.size());
+    return gens_[core];
+}
+
+// --- MultithreadedWorkload ----------------------------------------
+
+MultithreadedWorkload::MultithreadedWorkload(
+    const BenchmarkProfile &profile, std::uint32_t num_threads,
+    const GeneratorParams &params, std::uint64_t seed)
+    : profile_(profile), params_(params), appRng_(seed)
+{
+    MC_ASSERT(profile.multithreaded);
+    gens_.reserve(num_threads);
+    for (std::uint32_t t = 0; t < num_threads; ++t) {
+        // Fixed per-thread footprint offset: the spatial sigma of
+        // Table 4.
+        const double offset = profile.l2SigmaS * appRng_.gaussian();
+        gens_.emplace_back(profile, static_cast<CoreId>(t), params,
+                           seed + 0x2000 * (t + 1), offset);
+    }
+    refreshSharedRegion(0);
+}
+
+void
+MultithreadedWorkload::refreshSharedRegion(EpochId epoch)
+{
+    // The shared region lives in its own range, common to every
+    // thread, and breathes with the application's temporal sigma.
+    const double f2 = clampFraction(profile_.l2Acf +
+                                    profile_.l2SigmaT *
+                                        appRng_.gaussian());
+    const double f3 = clampFraction(profile_.l3Acf +
+                                    profile_.l3SigmaT *
+                                        appRng_.gaussian());
+    const double d2 = demandFromAcf(f2, params_.invertAcfDemand);
+    const double d3 = demandFromAcf(f3, params_.invertAcfDemand);
+
+    shared_.hot = CoreRefGenerator::layoutWorkingSet(
+        Addr{1} << 52, d2, f2, params_.l2SliceLines,
+        params_.l2CoverageFactor, params_.acfvBits);
+    const auto drift = static_cast<Addr>(
+        params_.driftFraction *
+        static_cast<double>(shared_.hot.spanLines()));
+    shared_.hot.base += drift * epoch;
+
+    shared_.mid = CoreRefGenerator::layoutWorkingSet(
+        shared_.hot.base + shared_.hot.spanLines() + 4096, d3, f3,
+        params_.l3SliceLines, params_.l3CoverageFactor,
+        params_.acfvBits);
+    shared_.fraction = profile_.sharedFraction;
+    for (auto &gen : gens_)
+        gen.setSharedRegion(shared_);
+}
+
+MemAccess
+MultithreadedWorkload::next(CoreId core)
+{
+    MC_ASSERT(core < gens_.size());
+    return gens_[core].next();
+}
+
+void
+MultithreadedWorkload::beginEpoch(EpochId epoch)
+{
+    refreshSharedRegion(epoch);
+    for (auto &gen : gens_)
+        gen.beginEpoch(epoch);
+}
+
+std::uint32_t
+MultithreadedWorkload::numCores() const
+{
+    return static_cast<std::uint32_t>(gens_.size());
+}
+
+std::unique_ptr<Workload>
+MultithreadedWorkload::clone() const
+{
+    return std::make_unique<MultithreadedWorkload>(*this);
+}
+
+CoreRefGenerator &
+MultithreadedWorkload::thread(CoreId core)
+{
+    MC_ASSERT(core < gens_.size());
+    return gens_[core];
+}
+
+// --- SoloWorkload -------------------------------------------------
+
+SoloWorkload::SoloWorkload(const BenchmarkProfile &profile,
+                           const GeneratorParams &params,
+                           std::uint64_t seed)
+    : gen_(profile, 0, params, seed)
+{
+}
+
+MemAccess
+SoloWorkload::next(CoreId core)
+{
+    MC_ASSERT(core == 0);
+    return gen_.next();
+}
+
+void
+SoloWorkload::beginEpoch(EpochId epoch)
+{
+    gen_.beginEpoch(epoch);
+}
+
+std::unique_ptr<Workload>
+SoloWorkload::clone() const
+{
+    return std::make_unique<SoloWorkload>(*this);
+}
+
+} // namespace morphcache

@@ -1,0 +1,214 @@
+#include "workload/trace.hh"
+#include <cstring>
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+namespace {
+
+constexpr char traceMagic[4] = {'M', 'C', 'T', 'R'};
+constexpr std::uint32_t traceVersion = 1;
+
+void
+putU32(std::FILE *f, std::uint32_t v)
+{
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    std::fwrite(b, 1, 4, f);
+}
+
+void
+putU64(std::FILE *f, std::uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    std::fwrite(b, 1, 8, f);
+}
+
+std::uint32_t
+getU32(std::FILE *f)
+{
+    unsigned char b[4];
+    if (std::fread(b, 1, 4, f) != 4)
+        fatal("trace file truncated");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(std::FILE *f)
+{
+    unsigned char b[8];
+    if (std::fread(b, 1, 8, f) != 8)
+        fatal("trace file truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+Trace::totalReferences() const
+{
+    std::uint64_t total = 0;
+    for (const auto &epoch : epochs) {
+        for (const auto &core : epoch)
+            total += core.size();
+    }
+    return total;
+}
+
+Trace
+recordTrace(Workload &workload, std::uint32_t num_epochs,
+            std::uint64_t refs_per_epoch)
+{
+    Trace trace;
+    trace.numCores = workload.numCores();
+    trace.epochs.resize(num_epochs);
+    for (std::uint32_t e = 0; e < num_epochs; ++e) {
+        workload.beginEpoch(e);
+        trace.epochs[e].resize(trace.numCores);
+        for (std::uint32_t c = 0; c < trace.numCores; ++c) {
+            trace.epochs[e][c].reserve(refs_per_epoch);
+            for (std::uint64_t i = 0; i < refs_per_epoch; ++i) {
+                trace.epochs[e][c].push_back(
+                    workload.next(static_cast<CoreId>(c)));
+            }
+        }
+    }
+    return trace;
+}
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open trace file '%s' for writing",
+              path.c_str());
+    std::fwrite(traceMagic, 1, 4, f);
+    putU32(f, traceVersion);
+    putU32(f, trace.numCores);
+    for (std::uint32_t e = 0; e < trace.epochs.size(); ++e) {
+        std::fputc(1, f); // epoch marker
+        putU32(f, e);
+        for (std::uint32_t c = 0; c < trace.numCores; ++c) {
+            for (const MemAccess &access : trace.epochs[e][c]) {
+                std::fputc(0, f); // access record
+                const std::uint16_t core = access.core;
+                std::fputc(core & 0xff, f);
+                std::fputc((core >> 8) & 0xff, f);
+                std::fputc(access.type == AccessType::Write ? 1 : 0,
+                           f);
+                putU64(f, access.addr);
+            }
+        }
+    }
+    if (std::fclose(f) != 0)
+        fatal("error writing trace file '%s'", path.c_str());
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char magic[4];
+    if (std::fread(magic, 1, 4, f) != 4 ||
+        std::memcmp(magic, traceMagic, 4) != 0) {
+        fatal("'%s' is not a MorphCache trace", path.c_str());
+    }
+    const std::uint32_t version = getU32(f);
+    if (version != traceVersion)
+        fatal("unsupported trace version %u", version);
+
+    Trace trace;
+    trace.numCores = getU32(f);
+    if (trace.numCores == 0 || trace.numCores > 1024)
+        fatal("implausible core count %u in trace", trace.numCores);
+
+    int kind;
+    while ((kind = std::fgetc(f)) != EOF) {
+        if (kind == 1) {
+            const std::uint32_t epoch = getU32(f);
+            if (epoch != trace.epochs.size())
+                fatal("out-of-order epoch marker %u", epoch);
+            trace.epochs.emplace_back(trace.numCores);
+        } else if (kind == 0) {
+            if (trace.epochs.empty())
+                fatal("access record before first epoch marker");
+            const int lo = std::fgetc(f);
+            const int hi = std::fgetc(f);
+            const int type = std::fgetc(f);
+            if (lo == EOF || hi == EOF || type == EOF)
+                fatal("trace file truncated");
+            MemAccess access;
+            access.core = static_cast<CoreId>(lo | (hi << 8));
+            access.type = type ? AccessType::Write
+                               : AccessType::Read;
+            access.addr = getU64(f);
+            if (access.core >= trace.numCores)
+                fatal("access for core %u beyond core count",
+                      access.core);
+            trace.epochs.back()[access.core].push_back(access);
+        } else {
+            fatal("corrupt record kind %d in trace", kind);
+        }
+    }
+    std::fclose(f);
+    return trace;
+}
+
+TraceWorkload::TraceWorkload(Trace trace, bool shared_address_space)
+    : trace_(std::move(trace)),
+      sharedAddressSpace_(shared_address_space),
+      cursor_(trace_.numCores, 0)
+{
+    MC_ASSERT(trace_.numCores > 0);
+    MC_ASSERT(!trace_.epochs.empty());
+}
+
+MemAccess
+TraceWorkload::next(CoreId core)
+{
+    MC_ASSERT(core < trace_.numCores);
+    const auto &seq = trace_.epochs[epoch_][core];
+    MC_ASSERT(!seq.empty());
+    if (cursor_[core] >= seq.size()) {
+        cursor_[core] = 0;
+        ++wraps_;
+    }
+    return seq[cursor_[core]++];
+}
+
+void
+TraceWorkload::beginEpoch(EpochId epoch)
+{
+    epoch_ = epoch % trace_.epochs.size();
+    for (auto &cursor : cursor_)
+        cursor = 0;
+}
+
+std::uint32_t
+TraceWorkload::numCores() const
+{
+    return trace_.numCores;
+}
+
+std::unique_ptr<Workload>
+TraceWorkload::clone() const
+{
+    return std::make_unique<TraceWorkload>(*this);
+}
+
+} // namespace morphcache

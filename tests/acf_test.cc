@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for ACF estimation: hash functions, ACFVs, and the
+ * oracle estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "acf/acfv.hh"
+#include "acf/hash.hh"
+
+namespace morphcache {
+namespace {
+
+TEST(TagHash, InRange)
+{
+    for (Addr tag = 0; tag < 10000; ++tag) {
+        EXPECT_LT(hashTag(HashKind::Xor, tag, 128), 128u);
+        EXPECT_LT(hashTag(HashKind::Modulo, tag, 128), 128u);
+    }
+}
+
+TEST(TagHash, ModuloIsLowBits)
+{
+    EXPECT_EQ(hashTag(HashKind::Modulo, 0x1234, 256), 0x34u);
+}
+
+TEST(TagHash, XorSpreadsHighBits)
+{
+    // Tags differing only in high bits must map to different
+    // buckets under XOR (they collide under modulo).
+    const Addr a = 0x0000000012ULL;
+    const Addr b = 0x0f00000012ULL;
+    EXPECT_EQ(hashTag(HashKind::Modulo, a, 64),
+              hashTag(HashKind::Modulo, b, 64));
+    EXPECT_NE(hashTag(HashKind::Xor, a, 64),
+              hashTag(HashKind::Xor, b, 64));
+}
+
+TEST(TagHash, Deterministic)
+{
+    for (Addr tag : {0ULL, 7ULL, 123456789ULL}) {
+        EXPECT_EQ(hashTag(HashKind::Xor, tag, 128),
+                  hashTag(HashKind::Xor, tag, 128));
+    }
+}
+
+TEST(Acfv, SetAndClear)
+{
+    Acfv vec(128);
+    EXPECT_EQ(vec.popcount(), 0u);
+    vec.set(42);
+    EXPECT_EQ(vec.popcount(), 1u);
+    vec.set(42); // idempotent
+    EXPECT_EQ(vec.popcount(), 1u);
+    vec.clear(42);
+    EXPECT_EQ(vec.popcount(), 0u);
+}
+
+TEST(Acfv, ResetAll)
+{
+    Acfv vec(64);
+    for (Addr a = 0; a < 32; ++a)
+        vec.set(a * 977);
+    EXPECT_GT(vec.popcount(), 0u);
+    vec.resetAll();
+    EXPECT_EQ(vec.popcount(), 0u);
+}
+
+TEST(Acfv, UtilizationFraction)
+{
+    Acfv vec(128, HashKind::Modulo);
+    for (Addr a = 0; a < 64; ++a)
+        vec.set(a); // modulo: 64 distinct bits
+    EXPECT_DOUBLE_EQ(vec.utilization(), 0.5);
+}
+
+TEST(Acfv, PopcountMatchesDistinctBuckets)
+{
+    Acfv vec(256, HashKind::Xor);
+    std::set<std::uint32_t> buckets;
+    for (Addr a = 0; a < 500; ++a) {
+        vec.set(a * 131);
+        buckets.insert(hashTag(HashKind::Xor, a * 131, 256));
+    }
+    EXPECT_EQ(vec.popcount(), buckets.size());
+}
+
+TEST(Acfv, CommonOnesMeasuresOverlap)
+{
+    Acfv a(128, HashKind::Modulo), b(128, HashKind::Modulo);
+    for (Addr x = 0; x < 40; ++x)
+        a.set(x);
+    for (Addr x = 20; x < 60; ++x)
+        b.set(x);
+    EXPECT_EQ(Acfv::commonOnes(a, b), 20u);
+}
+
+TEST(Acfv, DisjointHaveNoCommonOnes)
+{
+    Acfv a(128, HashKind::Modulo), b(128, HashKind::Modulo);
+    for (Addr x = 0; x < 32; ++x)
+        a.set(x);
+    for (Addr x = 64; x < 96; ++x)
+        b.set(x);
+    EXPECT_EQ(Acfv::commonOnes(a, b), 0u);
+}
+
+TEST(OracleAcf, TracksUniqueLines)
+{
+    OracleAcf oracle;
+    oracle.set(1);
+    oracle.set(2);
+    oracle.set(1); // duplicate
+    EXPECT_EQ(oracle.size(), 2u);
+    oracle.clear(1);
+    EXPECT_EQ(oracle.size(), 1u);
+    oracle.resetAll();
+    EXPECT_EQ(oracle.size(), 0u);
+}
+
+/**
+ * The Figure 5 property: for contiguous footprints, |ACFV| tracks
+ * the true footprint size. Larger vectors track it better, and by
+ * 64-128 bits the correlation should be very high (paper: 0.94 at
+ * 64 bits, 0.96 at 128).
+ */
+class AcfvCorrelation
+    : public ::testing::TestWithParam<std::tuple<HashKind, int>>
+{
+};
+
+TEST_P(AcfvCorrelation, TracksContiguousFootprint)
+{
+    const auto [kind, bits] = GetParam();
+    Acfv vec(static_cast<std::uint32_t>(bits), kind);
+    // Footprints of different sizes, like epochs of a benchmark
+    // with temporal variation.
+    double prev_est = -1.0;
+    for (int size = 8; size <= bits; size *= 2) {
+        vec.resetAll();
+        for (Addr a = 0; a < static_cast<Addr>(size); ++a)
+            vec.set(a);
+        const double est = vec.utilization();
+        EXPECT_GT(est, prev_est); // monotone in footprint
+        prev_est = est;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HashesAndSizes, AcfvCorrelation,
+    ::testing::Combine(::testing::Values(HashKind::Xor,
+                                         HashKind::Modulo),
+                       ::testing::Values(32, 128, 512)));
+
+} // namespace
+} // namespace morphcache

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the CSV/summary export helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "stats/report.hh"
+
+namespace morphcache {
+namespace {
+
+TEST(Report, CsvStringShape)
+{
+    const std::vector<Series> series = {
+        {"a", {1.0, 2.0, 3.0}},
+        {"b", {0.5}},
+    };
+    const std::string csv = csvString(series);
+    EXPECT_EQ(csv, "index,a,b\n"
+                   "0,1,0.5\n"
+                   "1,2,\n"
+                   "2,3,\n");
+}
+
+TEST(Report, EmptySeriesProduceHeaderOnly)
+{
+    const std::string csv = csvString({{"only", {}}});
+    EXPECT_EQ(csv, "index,only\n");
+}
+
+TEST(Report, WriteCsvRoundTrips)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "report_test.csv";
+    writeCsv(path, {{"x", {1.5, 2.5}}});
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[256] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(std::string(buf, n), "index,x\n0,1.5\n1,2.5\n");
+}
+
+TEST(Report, SummaryLineStats)
+{
+    const Series s{"tput", {1.0, 3.0, 2.0}};
+    const std::string line = summaryLine(s);
+    EXPECT_NE(line.find("tput"), std::string::npos);
+    EXPECT_NE(line.find("2.0000"), std::string::npos); // mean
+    EXPECT_NE(line.find("1.0000"), std::string::npos); // min
+    EXPECT_NE(line.find("3.0000"), std::string::npos); // max
+}
+
+TEST(Report, SummaryLineEmpty)
+{
+    const std::string line = summaryLine({"empty", {}});
+    EXPECT_NE(line.find("0.0000"), std::string::npos);
+}
+
+} // namespace
+} // namespace morphcache

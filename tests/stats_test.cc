@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the statistics package and performance metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/metrics.hh"
+#include "stats/stats.hh"
+
+namespace morphcache {
+namespace {
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+}
+
+TEST(RunningStat, EmptyAndSingle)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+    stat.add(3.5);
+    EXPECT_DOUBLE_EQ(stat.mean(), 3.5);
+    EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, Reset)
+{
+    RunningStat stat;
+    stat.add(1.0);
+    stat.add(2.0);
+    stat.reset();
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    const std::vector<double> ys{2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    const std::vector<double> ys{10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceIsZero)
+{
+    const std::vector<double> xs{1, 1, 1};
+    const std::vector<double> ys{1, 2, 3};
+    EXPECT_EQ(pearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(Pearson, TooFewSamplesIsZero)
+{
+    EXPECT_EQ(pearsonCorrelation({1.0}, {2.0}), 0.0);
+    EXPECT_EQ(pearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(Means, Harmonic)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_EQ(harmonicMean({1.0, 0.0}), 0.0);
+    EXPECT_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(Means, Geometric)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_EQ(geometricMean({2.0, -1.0}), 0.0);
+}
+
+TEST(Means, ArithmeticAndStddev)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+    EXPECT_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram hist(0.0, 10.0, 10);
+    hist.add(0.5);
+    hist.add(9.5);
+    hist.add(-3.0); // clamps into bucket 0
+    hist.add(42.0); // clamps into bucket 9
+    EXPECT_EQ(hist.bucketCount(0), 2u);
+    EXPECT_EQ(hist.bucketCount(9), 2u);
+    EXPECT_EQ(hist.totalCount(), 4u);
+    EXPECT_DOUBLE_EQ(hist.bucketLo(3), 3.0);
+}
+
+TEST(Metrics, Throughput)
+{
+    EXPECT_DOUBLE_EQ(throughput({1.0, 2.0, 3.0}), 6.0);
+    EXPECT_EQ(throughput({}), 0.0);
+}
+
+TEST(Metrics, WeightedSpeedup)
+{
+    // Two apps at reference speed, one at 2x: WS = (1+1+2)/3.
+    EXPECT_NEAR(weightedSpeedup({1.0, 1.0, 2.0}, {1.0, 1.0, 1.0}),
+                4.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, FairSpeedupPenalizesImbalance)
+{
+    // Same average speedup, but FS punishes hurting one app.
+    const double balanced =
+        fairSpeedup({1.2, 1.2}, {1.0, 1.0});
+    const double imbalanced =
+        fairSpeedup({1.9, 0.5}, {1.0, 1.0});
+    EXPECT_GT(balanced, imbalanced);
+    EXPECT_NEAR(balanced, 1.2, 1e-12);
+}
+
+} // namespace
+} // namespace morphcache

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the tile-based scaling composition (Section 5.5
+ * future work).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/simulation.hh"
+#include "sim/tiled.hh"
+#include "workload/generator.hh"
+
+namespace morphcache {
+namespace {
+
+HierarchyParams
+tileParams(std::uint32_t cores = 4)
+{
+    HierarchyParams params = HierarchyParams::defaultParams(cores);
+    params.l1Geom = CacheGeometry{2048, 2, 64};
+    params.l2.sliceGeom = CacheGeometry{8192, 4, 64};
+    params.l3.sliceGeom = CacheGeometry{32768, 8, 64};
+    return params;
+}
+
+TEST(Tiled, RoutesCoresToTiles)
+{
+    TiledMorphSystem system(tileParams(4), MorphConfig{}, 3);
+    EXPECT_EQ(system.numCores(), 12u);
+    EXPECT_EQ(system.numTiles(), 3u);
+    EXPECT_EQ(system.coresPerTile(), 4u);
+
+    // Core 5 lives on tile 1 as local core 1.
+    system.access(MemAccess{5, 0x4000, AccessType::Read}, 0);
+    EXPECT_EQ(system.tile(1).coreStats(1).accesses, 1u);
+    EXPECT_EQ(system.tile(0).coreStats(1).accesses, 0u);
+    EXPECT_EQ(system.coreStats(5).accesses, 1u);
+}
+
+TEST(Tiled, TilesAreIsolated)
+{
+    TiledMorphSystem system(tileParams(4), MorphConfig{}, 2);
+    // The same address accessed from two tiles produces two misses:
+    // tiles have independent hierarchies.
+    const auto r0 =
+        system.access(MemAccess{0, 0x9000, AccessType::Read}, 0);
+    const auto r4 =
+        system.access(MemAccess{4, 0x9000, AccessType::Read}, 0);
+    EXPECT_EQ(r0.servedBy, ServedBy::Memory);
+    EXPECT_EQ(r4.servedBy, ServedBy::Memory);
+    // And the copy in tile 0 serves tile-0 cores only.
+    const auto again =
+        system.access(MemAccess{0, 0x9000, AccessType::Read}, 100);
+    EXPECT_EQ(again.servedBy, ServedBy::L1);
+}
+
+TEST(Tiled, EpochBoundaryReachesEveryTile)
+{
+    TiledMorphSystem system(tileParams(4), MorphConfig{}, 2);
+    system.epochBoundary();
+    system.epochBoundary();
+    EXPECT_EQ(system.tile(0).controller().stats().decisions, 2u);
+    EXPECT_EQ(system.tile(1).controller().stats().decisions, 2u);
+}
+
+TEST(Tiled, RunsUnderTheSimulator)
+{
+    HierarchyParams tile = tileParams(4);
+    const GeneratorParams gen = generatorFor(tile);
+    MixSpec spec = mixByName("MIX 10");
+    spec.benchmarks.resize(8); // 2 tiles x 4 cores
+    MixWorkload workload(spec, gen, 7);
+    TiledMorphSystem system(tile, MorphConfig{}, 2);
+    SimParams sim;
+    sim.refsPerEpochPerCore = 1500;
+    sim.epochs = 4;
+    sim.warmupEpochs = 1;
+    Simulation simulation(system, workload, sim);
+    const RunResult result = simulation.run();
+    EXPECT_GT(result.avgThroughput, 0.0);
+    EXPECT_EQ(result.avgIpc.size(), 8u);
+}
+
+} // namespace
+} // namespace morphcache

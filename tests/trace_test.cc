@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for trace capture, (de)serialization, and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/simulation.hh"
+#include "workload/trace.hh"
+
+namespace morphcache {
+namespace {
+
+GeneratorParams
+smallGen()
+{
+    GeneratorParams params;
+    params.l2SliceLines = 128;
+    params.l3SliceLines = 512;
+    return params;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Trace, RecordCapturesShape)
+{
+    MixWorkload mix(mixByName("MIX 01"), smallGen(), 7);
+    const Trace trace = recordTrace(mix, 3, 100);
+    EXPECT_EQ(trace.numCores, 16u);
+    ASSERT_EQ(trace.epochs.size(), 3u);
+    for (const auto &epoch : trace.epochs) {
+        ASSERT_EQ(epoch.size(), 16u);
+        for (const auto &core : epoch)
+            EXPECT_EQ(core.size(), 100u);
+    }
+    EXPECT_EQ(trace.totalReferences(), 3u * 16u * 100u);
+}
+
+TEST(Trace, RoundTripsThroughFile)
+{
+    MixWorkload mix(mixByName("MIX 02"), smallGen(), 7);
+    const Trace original = recordTrace(mix, 2, 50);
+    const std::string path = tempPath("roundtrip.mctrace");
+    writeTrace(original, path);
+    const Trace loaded = readTrace(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.numCores, original.numCores);
+    ASSERT_EQ(loaded.epochs.size(), original.epochs.size());
+    for (std::size_t e = 0; e < original.epochs.size(); ++e) {
+        for (std::size_t c = 0; c < 16; ++c) {
+            ASSERT_EQ(loaded.epochs[e][c].size(),
+                      original.epochs[e][c].size());
+            for (std::size_t i = 0;
+                 i < original.epochs[e][c].size(); ++i) {
+                EXPECT_EQ(loaded.epochs[e][c][i].addr,
+                          original.epochs[e][c][i].addr);
+                EXPECT_EQ(static_cast<int>(
+                              loaded.epochs[e][c][i].type),
+                          static_cast<int>(
+                              original.epochs[e][c][i].type));
+            }
+        }
+    }
+}
+
+TEST(Trace, ReplayMatchesOriginalStream)
+{
+    MixWorkload mix(mixByName("MIX 03"), smallGen(), 7);
+    const Trace trace = recordTrace(mix, 2, 80);
+
+    MixWorkload replay_src(mixByName("MIX 03"), smallGen(), 7);
+    TraceWorkload replay(trace);
+    for (EpochId e = 0; e < 2; ++e) {
+        replay.beginEpoch(e);
+        replay_src.beginEpoch(e);
+        for (int i = 0; i < 80; ++i) {
+            for (CoreId c = 0; c < 16; ++c) {
+                EXPECT_EQ(replay.next(c).addr,
+                          replay_src.next(c).addr);
+            }
+        }
+    }
+    EXPECT_EQ(replay.wrapCount(), 0u);
+}
+
+TEST(Trace, ReplayWrapsWhenOverdrawn)
+{
+    MixWorkload mix(mixByName("MIX 04"), smallGen(), 7);
+    const Trace trace = recordTrace(mix, 1, 10);
+    TraceWorkload replay(trace);
+    replay.beginEpoch(0);
+    for (int i = 0; i < 25; ++i)
+        replay.next(0);
+    EXPECT_GE(replay.wrapCount(), 1u);
+}
+
+TEST(Trace, EpochIndexWrapsModuloRecordedEpochs)
+{
+    MixWorkload mix(mixByName("MIX 05"), smallGen(), 7);
+    const Trace trace = recordTrace(mix, 2, 10);
+    TraceWorkload a(trace), b(trace);
+    a.beginEpoch(0);
+    b.beginEpoch(2); // wraps to recorded epoch 0
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next(3).addr, b.next(3).addr);
+}
+
+TEST(Trace, DrivesTheFullSimulator)
+{
+    HierarchyParams hier = HierarchyParams::defaultParams(16);
+    hier.l1Geom = CacheGeometry{2048, 2, 64};
+    hier.l2.sliceGeom = CacheGeometry{8192, 4, 64};
+    hier.l3.sliceGeom = CacheGeometry{32768, 8, 64};
+
+    MixWorkload source(mixByName("MIX 06"), smallGen(), 7);
+    TraceWorkload replay(recordTrace(source, 4, 500));
+
+    MorphCacheSystem system(hier, MorphConfig{});
+    SimParams sim;
+    sim.refsPerEpochPerCore = 500;
+    sim.epochs = 3;
+    sim.warmupEpochs = 1;
+    Simulation simulation(system, replay, sim);
+    const RunResult result = simulation.run();
+    EXPECT_GT(result.avgThroughput, 0.0);
+    EXPECT_EQ(replay.wrapCount(), 0u);
+}
+
+TEST(Trace, CloneSupportsIdealOfflineCheckpointing)
+{
+    MixWorkload source(mixByName("MIX 07"), smallGen(), 7);
+    TraceWorkload replay(recordTrace(source, 2, 20));
+    replay.beginEpoch(0);
+    replay.next(0);
+    const auto copy = replay.clone();
+    copy->beginEpoch(1);
+    replay.beginEpoch(1);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(replay.next(5).addr, copy->next(5).addr);
+}
+
+TEST(Trace, RejectsCorruptFiles)
+{
+    const std::string path = tempPath("bogus.mctrace");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a trace", f);
+    std::fclose(f);
+    EXPECT_DEATH(readTrace(path), "not a MorphCache trace");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace morphcache

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * morphcache_sim — command-line driver for the simulator.
+ *
+ * Runs any workload under any scheme and reports throughput, IPCs,
+ * and reconfiguration activity; optionally dumps per-epoch series
+ * as CSV.
+ *
+ * Usage:
+ *   morphcache_sim [options]
+ *     --workload mix:<1..12> | parsec:<name> | trace:<file>
+ *                                        (default mix:8)
+ *     --scheme morph | static:<x>:<y>:<z> | pipp | dsr
+ *                                        (default morph)
+ *     --cores N          core count (default 16)
+ *     --epochs N         recorded epochs (default 12)
+ *     --refs N           references per core per epoch (default 24000)
+ *     --seed N           RNG seed (default 42)
+ *     --paper-scale      Table 3 capacities verbatim
+ *     --csv FILE         dump per-epoch throughput/misses as CSV
+ *     --record FILE      record the workload to a trace file and exit
+ *
+ * Examples:
+ *   morphcache_sim --workload mix:8 --scheme morph
+ *   morphcache_sim --workload parsec:dedup --scheme static:4:4:1
+ *   morphcache_sim --workload mix:1 --record mix01.mctrace
+ *   morphcache_sim --workload trace:mix01.mctrace --scheme dsr
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/dsr.hh"
+#include "baselines/pipp.hh"
+#include "sim/config.hh"
+#include "sim/simulation.hh"
+#include "stats/report.hh"
+#include "workload/trace.hh"
+
+using namespace morphcache;
+
+namespace {
+
+struct Options
+{
+    std::string workload = "mix:8";
+    std::string scheme = "morph";
+    std::uint32_t cores = 16;
+    std::uint32_t epochs = 12;
+    std::uint64_t refs = 24000;
+    std::uint64_t seed = 42;
+    bool paperScale = false;
+    std::string csvPath;
+    std::string recordPath;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload mix:N|parsec:NAME|trace:FILE]"
+                 " [--scheme morph|static:X:Y:Z|pipp|dsr]\n"
+                 "          [--cores N] [--epochs N] [--refs N] "
+                 "[--seed N] [--paper-scale] [--csv FILE]\n"
+                 "          [--record FILE]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opts.workload = value();
+        } else if (arg == "--scheme") {
+            opts.scheme = value();
+        } else if (arg == "--cores") {
+            opts.cores = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--epochs") {
+            opts.epochs = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--refs") {
+            opts.refs = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--paper-scale") {
+            opts.paperScale = true;
+        } else if (arg == "--csv") {
+            opts.csvPath = value();
+        } else if (arg == "--record") {
+            opts.recordPath = value();
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    return opts;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const Options &opts, const GeneratorParams &gen,
+             bool &shared_space)
+{
+    shared_space = false;
+    const auto colon = opts.workload.find(':');
+    if (colon == std::string::npos)
+        fatal("bad --workload '%s'", opts.workload.c_str());
+    const std::string kind = opts.workload.substr(0, colon);
+    const std::string spec = opts.workload.substr(colon + 1);
+
+    if (kind == "mix") {
+        char name[16];
+        std::snprintf(name, sizeof(name), "MIX %02d",
+                      std::atoi(spec.c_str()));
+        MixSpec mix = mixByName(name);
+        if (opts.cores < mix.benchmarks.size())
+            mix.benchmarks.resize(opts.cores);
+        return std::make_unique<MixWorkload>(mix, gen, opts.seed);
+    }
+    if (kind == "parsec") {
+        const BenchmarkProfile &profile = profileByName(spec);
+        if (!profile.multithreaded)
+            fatal("'%s' is not a PARSEC benchmark", spec.c_str());
+        shared_space = true;
+        return std::make_unique<MultithreadedWorkload>(
+            profile, opts.cores, gen, opts.seed);
+    }
+    if (kind == "trace") {
+        Trace trace = readTrace(spec);
+        return std::make_unique<TraceWorkload>(std::move(trace));
+    }
+    fatal("unknown workload kind '%s'", kind.c_str());
+}
+
+std::unique_ptr<MemorySystem>
+makeSystem(const Options &opts, const HierarchyParams &hier,
+           bool shared_space, const MorphCacheSystem **morph_out)
+{
+    *morph_out = nullptr;
+    if (opts.scheme == "morph") {
+        MorphConfig config;
+        config.sharedAddressSpace = shared_space;
+        auto system =
+            std::make_unique<MorphCacheSystem>(hier, config);
+        *morph_out = system.get();
+        return system;
+    }
+    if (opts.scheme == "pipp")
+        return std::make_unique<PippSystem>(hier);
+    if (opts.scheme == "dsr")
+        return std::make_unique<DsrSystem>(hier);
+    if (opts.scheme.rfind("static:", 0) == 0) {
+        unsigned x = 0, y = 0, z = 0;
+        if (std::sscanf(opts.scheme.c_str(), "static:%u:%u:%u", &x,
+                        &y, &z) != 3) {
+            fatal("bad --scheme '%s'", opts.scheme.c_str());
+        }
+        return std::make_unique<StaticTopologySystem>(
+            hier, Topology::symmetric(opts.cores, x, y, z));
+    }
+    fatal("unknown scheme '%s'", opts.scheme.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+
+    HierarchyParams hier = opts.paperScale
+                               ? paperScaleHierarchy(opts.cores)
+                               : fastScaleHierarchy(opts.cores);
+    const GeneratorParams gen = generatorFor(hier);
+
+    bool shared_space = false;
+    std::unique_ptr<Workload> workload =
+        makeWorkload(opts, gen, shared_space);
+    hier.coherence = shared_space;
+
+    if (!opts.recordPath.empty()) {
+        const Trace trace =
+            recordTrace(*workload, opts.epochs, opts.refs);
+        writeTrace(trace, opts.recordPath);
+        std::printf("recorded %llu references (%u epochs x %u "
+                    "cores) to %s\n",
+                    static_cast<unsigned long long>(
+                        trace.totalReferences()),
+                    opts.epochs, workload->numCores(),
+                    opts.recordPath.c_str());
+        return 0;
+    }
+
+    const MorphCacheSystem *morph = nullptr;
+    std::unique_ptr<MemorySystem> system =
+        makeSystem(opts, hier, shared_space, &morph);
+
+    SimParams sim;
+    sim.epochs = opts.epochs;
+    sim.refsPerEpochPerCore = opts.refs;
+    Simulation simulation(*system, *workload, sim);
+    const RunResult result = simulation.run();
+
+    std::printf("workload   : %s (%u cores)\n",
+                opts.workload.c_str(), workload->numCores());
+    std::printf("scheme     : %s\n", system->name().c_str());
+    std::printf("throughput : %.4f IPC (sum over cores)\n",
+                result.avgThroughput);
+    std::printf("performance: %.4f (instrs / slowest-core cycles)\n",
+                result.performance);
+    if (morph) {
+        const auto &stats = morph->controller().stats();
+        std::printf("reconfig   : %llu merges, %llu splits, %llu "
+                    "asymmetric outcomes, final %s\n",
+                    static_cast<unsigned long long>(stats.merges),
+                    static_cast<unsigned long long>(stats.splits),
+                    static_cast<unsigned long long>(
+                        stats.asymmetricOutcomes),
+                    morph->hierarchy().topology().name().c_str());
+    }
+
+    Series tput{"throughput", {}};
+    Series misses{"misses", {}};
+    for (const EpochMetrics &epoch : result.epochs) {
+        tput.values.push_back(epoch.throughput);
+        double m = 0;
+        for (auto v : epoch.misses)
+            m += static_cast<double>(v);
+        misses.values.push_back(m);
+    }
+    std::printf("%s\n", summaryLine(tput).c_str());
+    if (!opts.csvPath.empty()) {
+        writeCsv(opts.csvPath, {tput, misses});
+        std::printf("per-epoch series written to %s\n",
+                    opts.csvPath.c_str());
+    }
+    return 0;
+}
