@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/busmodel_validation.dir/busmodel_validation.cc.o"
+  "CMakeFiles/busmodel_validation.dir/busmodel_validation.cc.o.d"
+  "busmodel_validation"
+  "busmodel_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/busmodel_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_future_work.dir/energy_future_work.cc.o"
+  "CMakeFiles/energy_future_work.dir/energy_future_work.cc.o.d"
+  "energy_future_work"
+  "energy_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

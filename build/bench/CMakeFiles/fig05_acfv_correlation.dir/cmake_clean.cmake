@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_acfv_correlation.dir/fig05_acfv_correlation.cc.o"
+  "CMakeFiles/fig05_acfv_correlation.dir/fig05_acfv_correlation.cc.o.d"
+  "fig05_acfv_correlation"
+  "fig05_acfv_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_acfv_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

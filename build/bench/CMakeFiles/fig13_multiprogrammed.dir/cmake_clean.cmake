@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_multiprogrammed.dir/fig13_multiprogrammed.cc.o"
+  "CMakeFiles/fig13_multiprogrammed.dir/fig13_multiprogrammed.cc.o.d"
+  "fig13_multiprogrammed"
+  "fig13_multiprogrammed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_multiprogrammed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

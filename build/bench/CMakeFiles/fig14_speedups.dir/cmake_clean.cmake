@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_speedups.dir/fig14_speedups.cc.o"
+  "CMakeFiles/fig14_speedups.dir/fig14_speedups.cc.o.d"
+  "fig14_speedups"
+  "fig14_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

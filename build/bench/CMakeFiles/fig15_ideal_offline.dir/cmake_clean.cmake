@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ideal_offline.dir/fig15_ideal_offline.cc.o"
+  "CMakeFiles/fig15_ideal_offline.dir/fig15_ideal_offline.cc.o.d"
+  "fig15_ideal_offline"
+  "fig15_ideal_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ideal_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_multithreaded.dir/fig16_multithreaded.cc.o"
+  "CMakeFiles/fig16_multithreaded.dir/fig16_multithreaded.cc.o.d"
+  "fig16_multithreaded"
+  "fig16_multithreaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_multithreaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_pipp_dsr.dir/fig17_pipp_dsr.cc.o"
+  "CMakeFiles/fig17_pipp_dsr.dir/fig17_pipp_dsr.cc.o.d"
+  "fig17_pipp_dsr"
+  "fig17_pipp_dsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_pipp_dsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

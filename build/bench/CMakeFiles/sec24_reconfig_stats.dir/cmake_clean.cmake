@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec24_reconfig_stats.dir/sec24_reconfig_stats.cc.o"
+  "CMakeFiles/sec24_reconfig_stats.dir/sec24_reconfig_stats.cc.o.d"
+  "sec24_reconfig_stats"
+  "sec24_reconfig_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec24_reconfig_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_qos.dir/sec53_qos.cc.o"
+  "CMakeFiles/sec53_qos.dir/sec53_qos.cc.o.d"
+  "sec53_qos"
+  "sec53_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

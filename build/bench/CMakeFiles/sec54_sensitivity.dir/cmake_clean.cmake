@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_sensitivity.dir/sec54_sensitivity.cc.o"
+  "CMakeFiles/sec54_sensitivity.dir/sec54_sensitivity.cc.o.d"
+  "sec54_sensitivity"
+  "sec54_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

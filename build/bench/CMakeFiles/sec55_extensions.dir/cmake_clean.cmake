@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_extensions.dir/sec55_extensions.cc.o"
+  "CMakeFiles/sec55_extensions.dir/sec55_extensions.cc.o.d"
+  "sec55_extensions"
+  "sec55_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

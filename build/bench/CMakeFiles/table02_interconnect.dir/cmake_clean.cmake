@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_interconnect.dir/table02_interconnect.cc.o"
+  "CMakeFiles/table02_interconnect.dir/table02_interconnect.cc.o.d"
+  "table02_interconnect"
+  "table02_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

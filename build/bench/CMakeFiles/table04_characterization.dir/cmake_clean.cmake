@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_characterization.dir/table04_characterization.cc.o"
+  "CMakeFiles/table04_characterization.dir/table04_characterization.cc.o.d"
+  "table04_characterization"
+  "table04_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

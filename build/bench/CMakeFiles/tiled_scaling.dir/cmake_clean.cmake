@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_scaling.dir/tiled_scaling.cc.o"
+  "CMakeFiles/tiled_scaling.dir/tiled_scaling.cc.o.d"
+  "tiled_scaling"
+  "tiled_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

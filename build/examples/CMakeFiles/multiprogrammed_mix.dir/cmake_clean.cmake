@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogrammed_mix.dir/multiprogrammed_mix.cpp.o"
+  "CMakeFiles/multiprogrammed_mix.dir/multiprogrammed_mix.cpp.o.d"
+  "multiprogrammed_mix"
+  "multiprogrammed_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogrammed_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithreaded_app.dir/multithreaded_app.cpp.o"
+  "CMakeFiles/multithreaded_app.dir/multithreaded_app.cpp.o.d"
+  "multithreaded_app"
+  "multithreaded_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithreaded_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

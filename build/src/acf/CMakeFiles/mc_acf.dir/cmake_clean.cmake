@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_acf.dir/acfv.cc.o"
+  "CMakeFiles/mc_acf.dir/acfv.cc.o.d"
+  "libmc_acf.a"
+  "libmc_acf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_acf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

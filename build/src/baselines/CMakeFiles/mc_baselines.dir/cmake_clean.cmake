@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_baselines.dir/dsr.cc.o"
+  "CMakeFiles/mc_baselines.dir/dsr.cc.o.d"
+  "CMakeFiles/mc_baselines.dir/ideal_offline.cc.o"
+  "CMakeFiles/mc_baselines.dir/ideal_offline.cc.o.d"
+  "CMakeFiles/mc_baselines.dir/pipp.cc.o"
+  "CMakeFiles/mc_baselines.dir/pipp.cc.o.d"
+  "CMakeFiles/mc_baselines.dir/ucp.cc.o"
+  "CMakeFiles/mc_baselines.dir/ucp.cc.o.d"
+  "libmc_baselines.a"
+  "libmc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_common.dir/logging.cc.o"
+  "CMakeFiles/mc_common.dir/logging.cc.o.d"
+  "libmc_common.a"
+  "libmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

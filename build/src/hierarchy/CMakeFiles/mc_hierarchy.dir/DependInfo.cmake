@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/cache_level.cc" "src/hierarchy/CMakeFiles/mc_hierarchy.dir/cache_level.cc.o" "gcc" "src/hierarchy/CMakeFiles/mc_hierarchy.dir/cache_level.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy.cc" "src/hierarchy/CMakeFiles/mc_hierarchy.dir/hierarchy.cc.o" "gcc" "src/hierarchy/CMakeFiles/mc_hierarchy.dir/hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/topology.cc" "src/hierarchy/CMakeFiles/mc_hierarchy.dir/topology.cc.o" "gcc" "src/hierarchy/CMakeFiles/mc_hierarchy.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/acf/CMakeFiles/mc_acf.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/mc_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_hierarchy.dir/cache_level.cc.o"
+  "CMakeFiles/mc_hierarchy.dir/cache_level.cc.o.d"
+  "CMakeFiles/mc_hierarchy.dir/hierarchy.cc.o"
+  "CMakeFiles/mc_hierarchy.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mc_hierarchy.dir/topology.cc.o"
+  "CMakeFiles/mc_hierarchy.dir/topology.cc.o.d"
+  "libmc_hierarchy.a"
+  "libmc_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/arbiter.cc" "src/interconnect/CMakeFiles/mc_interconnect.dir/arbiter.cc.o" "gcc" "src/interconnect/CMakeFiles/mc_interconnect.dir/arbiter.cc.o.d"
+  "/root/repo/src/interconnect/bus_sim.cc" "src/interconnect/CMakeFiles/mc_interconnect.dir/bus_sim.cc.o" "gcc" "src/interconnect/CMakeFiles/mc_interconnect.dir/bus_sim.cc.o.d"
+  "/root/repo/src/interconnect/delay_model.cc" "src/interconnect/CMakeFiles/mc_interconnect.dir/delay_model.cc.o" "gcc" "src/interconnect/CMakeFiles/mc_interconnect.dir/delay_model.cc.o.d"
+  "/root/repo/src/interconnect/segmented_bus.cc" "src/interconnect/CMakeFiles/mc_interconnect.dir/segmented_bus.cc.o" "gcc" "src/interconnect/CMakeFiles/mc_interconnect.dir/segmented_bus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

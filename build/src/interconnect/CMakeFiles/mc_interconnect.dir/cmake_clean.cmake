@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_interconnect.dir/arbiter.cc.o"
+  "CMakeFiles/mc_interconnect.dir/arbiter.cc.o.d"
+  "CMakeFiles/mc_interconnect.dir/bus_sim.cc.o"
+  "CMakeFiles/mc_interconnect.dir/bus_sim.cc.o.d"
+  "CMakeFiles/mc_interconnect.dir/delay_model.cc.o"
+  "CMakeFiles/mc_interconnect.dir/delay_model.cc.o.d"
+  "CMakeFiles/mc_interconnect.dir/segmented_bus.cc.o"
+  "CMakeFiles/mc_interconnect.dir/segmented_bus.cc.o.d"
+  "libmc_interconnect.a"
+  "libmc_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

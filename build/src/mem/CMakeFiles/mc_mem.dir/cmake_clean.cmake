@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_mem.dir/replacement.cc.o"
+  "CMakeFiles/mc_mem.dir/replacement.cc.o.d"
+  "CMakeFiles/mc_mem.dir/slice.cc.o"
+  "CMakeFiles/mc_mem.dir/slice.cc.o.d"
+  "libmc_mem.a"
+  "libmc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_morph.dir/controller.cc.o"
+  "CMakeFiles/mc_morph.dir/controller.cc.o.d"
+  "libmc_morph.a"
+  "libmc_morph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_morph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

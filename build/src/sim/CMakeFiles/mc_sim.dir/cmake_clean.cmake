@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_sim.dir/config.cc.o"
+  "CMakeFiles/mc_sim.dir/config.cc.o.d"
+  "CMakeFiles/mc_sim.dir/energy.cc.o"
+  "CMakeFiles/mc_sim.dir/energy.cc.o.d"
+  "CMakeFiles/mc_sim.dir/memory_system.cc.o"
+  "CMakeFiles/mc_sim.dir/memory_system.cc.o.d"
+  "CMakeFiles/mc_sim.dir/simulation.cc.o"
+  "CMakeFiles/mc_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/mc_sim.dir/tiled.cc.o"
+  "CMakeFiles/mc_sim.dir/tiled.cc.o.d"
+  "libmc_sim.a"
+  "libmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

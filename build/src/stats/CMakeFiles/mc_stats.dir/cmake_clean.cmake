@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_stats.dir/metrics.cc.o"
+  "CMakeFiles/mc_stats.dir/metrics.cc.o.d"
+  "CMakeFiles/mc_stats.dir/report.cc.o"
+  "CMakeFiles/mc_stats.dir/report.cc.o.d"
+  "CMakeFiles/mc_stats.dir/stats.cc.o"
+  "CMakeFiles/mc_stats.dir/stats.cc.o.d"
+  "libmc_stats.a"
+  "libmc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_workload.dir/generator.cc.o"
+  "CMakeFiles/mc_workload.dir/generator.cc.o.d"
+  "CMakeFiles/mc_workload.dir/profiles.cc.o"
+  "CMakeFiles/mc_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/mc_workload.dir/trace.cc.o"
+  "CMakeFiles/mc_workload.dir/trace.cc.o.d"
+  "libmc_workload.a"
+  "libmc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

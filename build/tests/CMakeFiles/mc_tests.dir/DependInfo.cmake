@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/acf_test.cc" "tests/CMakeFiles/mc_tests.dir/acf_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/acf_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/mc_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/bus_sim_test.cc" "tests/CMakeFiles/mc_tests.dir/bus_sim_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/bus_sim_test.cc.o.d"
+  "/root/repo/tests/cache_level_test.cc" "tests/CMakeFiles/mc_tests.dir/cache_level_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/cache_level_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/mc_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/config_test.cc" "tests/CMakeFiles/mc_tests.dir/config_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/config_test.cc.o.d"
+  "/root/repo/tests/controller_policy_test.cc" "tests/CMakeFiles/mc_tests.dir/controller_policy_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/controller_policy_test.cc.o.d"
+  "/root/repo/tests/controller_test.cc" "tests/CMakeFiles/mc_tests.dir/controller_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/controller_test.cc.o.d"
+  "/root/repo/tests/estimator_test.cc" "tests/CMakeFiles/mc_tests.dir/estimator_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/estimator_test.cc.o.d"
+  "/root/repo/tests/hierarchy_edge_test.cc" "tests/CMakeFiles/mc_tests.dir/hierarchy_edge_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/hierarchy_edge_test.cc.o.d"
+  "/root/repo/tests/hierarchy_test.cc" "tests/CMakeFiles/mc_tests.dir/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/hierarchy_test.cc.o.d"
+  "/root/repo/tests/interconnect_test.cc" "tests/CMakeFiles/mc_tests.dir/interconnect_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/interconnect_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/mc_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/mc_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/mc_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/mc_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/mc_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/tiled_test.cc" "tests/CMakeFiles/mc_tests.dir/tiled_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/tiled_test.cc.o.d"
+  "/root/repo/tests/topology_test.cc" "tests/CMakeFiles/mc_tests.dir/topology_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/topology_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/mc_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/ucp_energy_test.cc" "tests/CMakeFiles/mc_tests.dir/ucp_energy_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/ucp_energy_test.cc.o.d"
+  "/root/repo/tests/workload_dynamics_test.cc" "tests/CMakeFiles/mc_tests.dir/workload_dynamics_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/workload_dynamics_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/mc_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/mc_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/mc_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/acf/CMakeFiles/mc_acf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/mc_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/morph/CMakeFiles/mc_morph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mc_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

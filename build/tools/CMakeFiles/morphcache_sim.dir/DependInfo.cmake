@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/morphcache_sim.cc" "tools/CMakeFiles/morphcache_sim.dir/morphcache_sim.cc.o" "gcc" "tools/CMakeFiles/morphcache_sim.dir/morphcache_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/morph/CMakeFiles/mc_morph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/mc_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/acf/CMakeFiles/mc_acf.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/mc_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphcache_sim.dir/morphcache_sim.cc.o"
+  "CMakeFiles/morphcache_sim.dir/morphcache_sim.cc.o.d"
+  "morphcache_sim"
+  "morphcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
