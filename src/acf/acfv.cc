@@ -34,6 +34,13 @@ Acfv::resetAll()
         word = 0;
 }
 
+void
+Acfv::flip(std::uint32_t i)
+{
+    MC_ASSERT(i < numBits_);
+    words_[i / 64] ^= (1ULL << (i % 64));
+}
+
 std::uint32_t
 Acfv::popcount() const
 {

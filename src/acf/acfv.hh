@@ -47,6 +47,12 @@ class Acfv
     /** Epoch-boundary reset: clear every bit. */
     void resetAll();
 
+    /**
+     * Invert bit `i` directly (fault injection: a soft error in
+     * the footprint-vector storage).
+     */
+    void flip(std::uint32_t i);
+
     /** |ACFV|: number of set bits. */
     std::uint32_t popcount() const;
 

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Recoverable error types.
+ *
+ * panic()/fatal() (logging.hh) terminate the process, which is the
+ * right response to an internal inconsistency in a batch run but the
+ * wrong one for errors a caller can reasonably handle: a malformed
+ * trace file, an impossible configuration. Those throw the exception
+ * types below instead, and the CLI entry points translate uncaught
+ * ones back into fatal() for the batch-user experience.
+ */
+
+#ifndef MORPHCACHE_COMMON_ERROR_HH
+#define MORPHCACHE_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace morphcache {
+
+/** Base class of all recoverable simulator errors. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** The caller supplied an invalid configuration. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &what) : SimError(what) {}
+};
+
+/** A trace file failed validation (corrupt, truncated, malformed). */
+class TraceError : public SimError
+{
+  public:
+    explicit TraceError(const std::string &what) : SimError(what) {}
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_COMMON_ERROR_HH

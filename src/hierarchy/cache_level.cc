@@ -549,6 +549,19 @@ CacheLevelModel::acfv(CoreId core, SliceId slice) const
 }
 
 void
+CacheLevelModel::flipAcfvBit(CoreId core, SliceId slice,
+                             std::uint32_t bit)
+{
+    acfvRef(core, slice).flip(bit);
+}
+
+void
+CacheLevelModel::setBusFaultHook(BusFaultHook *hook)
+{
+    bus_.setFaultHook(hook);
+}
+
+void
 CacheLevelModel::noteEviction(SliceId slice, Addr line_addr,
                               bool reused)
 {

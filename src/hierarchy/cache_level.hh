@@ -317,6 +317,18 @@ class CacheLevelModel
     /** ACFV of (core, slice). */
     const Acfv &acfv(CoreId core, SliceId slice) const;
 
+    /**
+     * Invert one ACFV bit (fault injection: a soft error in the
+     * footprint-vector storage of this level).
+     */
+    void flipAcfvBit(CoreId core, SliceId slice, std::uint32_t bit);
+
+    /**
+     * Attach a grant-fault hook to this level's segmented bus
+     * (fault injection; not owned; nullptr restores a clean bus).
+     */
+    void setBusFaultHook(BusFaultHook *hook);
+
     /** Popcount of the OR of all cores' ACFVs for one slice. */
     std::uint32_t sliceAcfPopcount(SliceId slice) const;
 

@@ -1,8 +1,49 @@
 #include "hierarchy/hierarchy.hh"
 
+#include <string>
+
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace morphcache {
+
+namespace {
+
+/** Validate one slice geometry, naming the level in any error. */
+void
+validateGeometry(const char *level, const CacheGeometry &geom)
+{
+    const std::string where = level;
+    if (geom.sizeBytes == 0 || geom.assoc == 0 || geom.lineBytes == 0)
+        throw ConfigError(where + ": geometry fields must be nonzero");
+    if (!isPowerOf2(geom.sizeBytes)) {
+        throw ConfigError(where + ": capacity " +
+                          std::to_string(geom.sizeBytes) +
+                          " bytes is not a power of two");
+    }
+    if (!isPowerOf2(geom.lineBytes)) {
+        throw ConfigError(where + ": line size " +
+                          std::to_string(geom.lineBytes) +
+                          " bytes is not a power of two");
+    }
+    if (geom.lineBytes > geom.sizeBytes) {
+        throw ConfigError(where +
+                          ": line size exceeds slice capacity");
+    }
+    if (geom.assoc > geom.numLines()) {
+        throw ConfigError(
+            where + ": associativity " + std::to_string(geom.assoc) +
+            " exceeds the slice's " +
+            std::to_string(geom.numLines()) + " lines");
+    }
+    if (!geom.valid()) {
+        throw ConfigError(where +
+                          ": lines do not divide evenly into " +
+                          std::to_string(geom.assoc) + "-way sets");
+    }
+}
+
+} // namespace
 
 HierarchyParams
 HierarchyParams::defaultParams(std::uint32_t num_cores)
@@ -26,15 +67,56 @@ HierarchyParams::defaultParams(std::uint32_t num_cores)
     return params;
 }
 
+void
+HierarchyParams::validate() const
+{
+    if (numCores == 0)
+        throw ConfigError("numCores must be nonzero");
+    validateGeometry("L1", l1Geom);
+    validateGeometry("L2", l2.sliceGeom);
+    validateGeometry("L3", l3.sliceGeom);
+    if (l2.numSlices != numCores) {
+        throw ConfigError(
+            "L2 has " + std::to_string(l2.numSlices) +
+            " slices for " + std::to_string(numCores) +
+            " cores; the design is one slice per core");
+    }
+    if (l3.numSlices != numCores) {
+        throw ConfigError(
+            "L3 has " + std::to_string(l3.numSlices) +
+            " slices for " + std::to_string(numCores) +
+            " cores; the design is one slice per core");
+    }
+    if (l2.sliceGeom.lineBytes != l1Geom.lineBytes ||
+        l3.sliceGeom.lineBytes != l1Geom.lineBytes) {
+        throw ConfigError(
+            "line size must match across L1/L2/L3; inclusion and "
+            "back-invalidation track whole lines");
+    }
+    if (l1Latency == 0 || l2.localHitLatency == 0 ||
+        l3.localHitLatency == 0 || memLatency == 0) {
+        throw ConfigError("hit/memory latencies must be nonzero");
+    }
+}
+
+namespace {
+
+/** Validation must precede level construction (members init in
+ * declaration order and the levels assert on their geometry). */
+const HierarchyParams &
+validated(const HierarchyParams &params)
+{
+    params.validate();
+    return params;
+}
+
+} // namespace
+
 Hierarchy::Hierarchy(const HierarchyParams &params)
-    : params_(params), l2_(params.l2), l3_(params.l3),
+    : params_(validated(params)), l2_(params.l2), l3_(params.l3),
       topology_(Topology::allPrivateTopology(params.numCores)),
       coreStats_(params.numCores)
 {
-    MC_ASSERT(params_.numCores > 0);
-    MC_ASSERT(params_.l2.numSlices == params_.numCores);
-    MC_ASSERT(params_.l3.numSlices == params_.numCores);
-    MC_ASSERT(params_.l1Geom.valid());
     l1s_.reserve(params_.numCores);
     for (std::uint32_t c = 0; c < params_.numCores; ++c) {
         l1s_.emplace_back(static_cast<SliceId>(c), params_.l1Geom,

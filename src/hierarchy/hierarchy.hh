@@ -104,6 +104,17 @@ struct HierarchyParams
 
     /** Table 3 defaults for a given core count. */
     static HierarchyParams defaultParams(std::uint32_t num_cores = 16);
+
+    /**
+     * Validate the whole parameter set: power-of-two capacities and
+     * line sizes, associativity within the slice's line count, line
+     * sizes consistent across levels, slice counts matching the core
+     * count, nonzero latencies. Throws ConfigError naming the
+     * offending field; Hierarchy's constructor calls this, so a bad
+     * configuration fails loudly instead of corrupting indexing
+     * arithmetic.
+     */
+    void validate() const;
 };
 
 /**

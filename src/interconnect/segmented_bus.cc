@@ -55,10 +55,16 @@ SegmentedBus::queueAndOccupy(SliceId slice, Cycle now)
     Cycle wait = busyUntil_[seg] > now ? busyUntil_[seg] - now : 0;
     if (wait > cap)
         wait = cap;
-    busyUntil_[seg] = now + wait + occupancy;
+    // Injected grant faults (dropped/delayed grants) stretch both
+    // the requester's wait and the segment's occupancy: a lost
+    // grant re-arbitrates on the same wires everyone shares.
+    Cycle fault = 0;
+    if (faultHook_)
+        fault = faultHook_->grantDelay(slice, now + wait);
+    busyUntil_[seg] = now + wait + fault + occupancy;
     ++numTxns_;
     queueCycles_ += wait;
-    return wait;
+    return wait + fault;
 }
 
 Cycle

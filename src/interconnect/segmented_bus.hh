@@ -102,6 +102,23 @@ struct BusParams
 };
 
 /**
+ * Bus-grant fault hook (fault injection, src/check).
+ *
+ * Called once per granted transaction; the returned CPU cycles are
+ * added to the transaction's latency and segment occupancy,
+ * modelling dropped grants (full re-arbitration) and delayed
+ * grants. A clean grant returns 0.
+ */
+class BusFaultHook
+{
+  public:
+    virtual ~BusFaultHook() = default;
+
+    /** Extra CPU cycles injected into this grant (0 = clean). */
+    virtual Cycle grantDelay(SliceId slice, Cycle now) = 0;
+};
+
+/**
  * Per-segment queueing model.
  *
  * Segments are identified by dense group ids assigned by
@@ -152,6 +169,9 @@ class SegmentedBus
     /** Segment id currently assigned to a slice. */
     std::uint32_t groupOf(SliceId slice) const;
 
+    /** Attach a grant-fault hook (not owned; nullptr = clean bus). */
+    void setFaultHook(BusFaultHook *hook) { faultHook_ = hook; }
+
   private:
     /** Shared queue/occupancy accounting; returns the wait. */
     Cycle queueAndOccupy(SliceId slice, Cycle now);
@@ -164,6 +184,8 @@ class SegmentedBus
     std::vector<std::uint32_t> segSize_;
     std::uint64_t numTxns_ = 0;
     std::uint64_t queueCycles_ = 0;
+    /** Optional injected grant faults (src/check); not owned. */
+    BusFaultHook *faultHook_ = nullptr;
 };
 
 } // namespace morphcache

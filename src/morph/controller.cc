@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "stats/report.hh"
 
 namespace morphcache {
 
@@ -12,10 +14,27 @@ MorphController::MorphController(const MorphConfig &config,
     : config_(config), numCores_(num_cores), msatNow_(config.msat),
       msatL3Now_(config.msatL3),
       l2MergeStamp_(num_cores, 0), l3MergeStamp_(num_cores, 0),
-      lastMissSnapshot_(num_cores, 0), prevEpochMisses_(num_cores, 0)
+      lastMissSnapshot_(num_cores, 0), prevEpochMisses_(num_cores, 0),
+      checker_(config.checkPolicy)
 {
-    MC_ASSERT(num_cores >= 2);
-    MC_ASSERT(config.msat.high > config.msat.low);
+    if (num_cores < 2)
+        throw ConfigError("MorphController requires >= 2 cores");
+    if (!(config.msat.high > config.msat.low))
+        throw ConfigError("MSAT high bound must exceed the low bound");
+    if (config.faults.enabled())
+        ownedFaults_ = std::make_unique<FaultInjector>(config.faults);
+}
+
+FaultInjector *
+MorphController::faultInjector() const
+{
+    return attachedFaults_ ? attachedFaults_ : ownedFaults_.get();
+}
+
+void
+MorphController::attachFaultInjector(FaultInjector *injector)
+{
+    attachedFaults_ = injector;
 }
 
 bool
@@ -24,35 +43,44 @@ MorphController::mergeDesirable(const CacheLevelModel &level,
                                 const std::vector<SliceId> &a,
                                 const std::vector<SliceId> &b) const
 {
-    const double ua = level.utilization(a);
-    const double ub = level.utilization(b);
-    const double h = msat.high;
-    const double l = msat.low;
+    const bool desirable = [&]() {
+        const double ua = level.utilization(a);
+        const double ub = level.utilization(b);
+        const double h = msat.high;
+        const double l = msat.low;
 
-    // Condition (i): capacity sharing — one hot, one cold. The
-    // cold side must also be low-churn: a slice full of streaming
-    // fills reads a tiny *reused* footprint but offers no usable
-    // spare capacity (its fills would evict whatever the hot
-    // partner spills into it).
-    const double pa = level.fillPressure(a);
-    const double pb = level.fillPressure(b);
-    if ((ua > h && ub < l && pb < config_.coldChurnLimit) ||
-        (ub > h && ua < l && pa < config_.coldChurnLimit)) {
-        return true;
-    }
+        // Condition (i): capacity sharing — one hot, one cold. The
+        // cold side must also be low-churn: a slice full of streaming
+        // fills reads a tiny *reused* footprint but offers no usable
+        // spare capacity (its fills would evict whatever the hot
+        // partner spills into it).
+        const double pa = level.fillPressure(a);
+        const double pb = level.fillPressure(b);
+        if ((ua > h && ub < l && pb < config_.coldChurnLimit) ||
+            (ub > h && ua < l && pa < config_.coldChurnLimit)) {
+            return true;
+        }
 
-    // Condition (ii): data sharing — one address space, both
-    // groups actively used, significant footprint overlap. The
-    // paper states this for two *highly* utilized slices; the
-    // replication/transfer savings it reasons from exist at any
-    // non-trivial utilization, and at this model's estimator scale
-    // an above-high gate would disable the sharing path entirely
-    // (DESIGN.md deviation 4), so the gate here is above-low.
-    if (config_.sharedAddressSpace && ua > l && ub > l &&
-        level.overlap(a, b) >= config_.sharingOverlapThreshold) {
-        return true;
+        // Condition (ii): data sharing — one address space, both
+        // groups actively used, significant footprint overlap. The
+        // paper states this for two *highly* utilized slices; the
+        // replication/transfer savings it reasons from exist at any
+        // non-trivial utilization, and at this model's estimator scale
+        // an above-high gate would disable the sharing path entirely
+        // (DESIGN.md deviation 4), so the gate here is above-low.
+        if (config_.sharedAddressSpace && ua > l && ub > l &&
+            level.overlap(a, b) >= config_.sharingOverlapThreshold) {
+            return true;
+        }
+        return false;
+    }();
+
+    // Injected MSAT corruption: the latched classification inverts.
+    if (FaultInjector *faults = faultInjector()) {
+        if (faults->corruptClassification())
+            return !desirable;
     }
-    return false;
+    return desirable;
 }
 
 bool
@@ -62,23 +90,31 @@ MorphController::splitDesirable(const CacheLevelModel &level,
 {
     if (group.size() < 2)
         return false;
-    std::vector<SliceId> first, second;
-    splitGroup(group, first, second);
-    const double u1 = level.utilization(first);
-    const double u2 = level.utilization(second);
-    // Both halves hot: the merge no longer buys capacity sharing;
-    // it only costs merged-access latency and interference — unless
-    // the halves genuinely share data (Section 2.3 / Figure 6).
-    const double split_bar = msat.high * config_.splitHighFactor;
-    if (u1 > split_bar && u2 > split_bar) {
-        if (config_.sharedAddressSpace &&
-            level.overlap(first, second) >=
-                config_.sharingOverlapThreshold) {
-            return false;
+    const bool desirable = [&]() {
+        std::vector<SliceId> first, second;
+        splitGroup(group, first, second);
+        const double u1 = level.utilization(first);
+        const double u2 = level.utilization(second);
+        // Both halves hot: the merge no longer buys capacity sharing;
+        // it only costs merged-access latency and interference — unless
+        // the halves genuinely share data (Section 2.3 / Figure 6).
+        const double split_bar = msat.high * config_.splitHighFactor;
+        if (u1 > split_bar && u2 > split_bar) {
+            if (config_.sharedAddressSpace &&
+                level.overlap(first, second) >=
+                    config_.sharingOverlapThreshold) {
+                return false;
+            }
+            return true;
         }
-        return true;
+        return false;
+    }();
+
+    if (FaultInjector *faults = faultInjector()) {
+        if (faults->corruptClassification())
+            return !desirable;
     }
-    return false;
+    return desirable;
 }
 
 bool
@@ -411,10 +447,119 @@ MorphController::throttleMsat(const Hierarchy &hierarchy)
     havePrevEpoch_ = true;
 }
 
+ShapeRule
+MorphController::shapeRule() const
+{
+    if (config_.allowNonNeighborGroups)
+        return ShapeRule::Any;
+    if (config_.allowArbitraryGroupSizes)
+        return ShapeRule::Contiguous;
+    return ShapeRule::AlignedPow2;
+}
+
+bool
+MorphController::checkDecision(const DecisionState &st,
+                               const char *phase)
+{
+    if (!checker_.enabled())
+        return false;
+    Topology topo;
+    topo.numCores = numCores_;
+    topo.l2 = st.l2;
+    topo.l3 = st.l3;
+    return checker_.report(phase,
+                           checker_.checkTopology(topo, shapeRule()));
+}
+
+void
+MorphController::handleViolation(Hierarchy &hierarchy,
+                                 bool dropped_proposal)
+{
+    ++robust_.violationEpochs;
+    switch (checker_.policy()) {
+      case CheckPolicy::Recover:
+        enterQuarantine(hierarchy);
+        break;
+      case CheckPolicy::Log:
+        if (dropped_proposal)
+            ++robust_.droppedTopologies;
+        break;
+      default:
+        // Off never detects; Abort already panicked in report().
+        break;
+    }
+}
+
+void
+MorphController::enterQuarantine(Hierarchy &hierarchy)
+{
+    ++robust_.quarantines;
+    quarantineLeft_ = std::max<std::uint32_t>(
+        1, config_.quarantineCleanEpochs);
+    const Topology safe = Topology::allPrivateTopology(numCores_);
+    if (!(hierarchy.topology() == safe))
+        hierarchy.reconfigure(safe);
+    // Adaptation memory is discarded wholesale: stale merge stamps
+    // and a corrupted QoS history would otherwise steer the first
+    // decisions after the quarantine lifts.
+    std::fill(l2MergeStamp_.begin(), l2MergeStamp_.end(), 0);
+    std::fill(l3MergeStamp_.begin(), l3MergeStamp_.end(), 0);
+    mergedLastEpoch_ = false;
+    havePrevEpoch_ = false;
+    msatNow_ = config_.msat;
+    msatL3Now_ = config_.msatL3;
+}
+
+void
+MorphController::quarantineEpoch(Hierarchy &hierarchy)
+{
+    ++robust_.quarantineEpochs;
+    // The quarantine topology is static; an epoch only counts as
+    // clean when the quarantined hierarchy itself verifies. Footprint
+    // noise (e.g. injected ACFV flips) does not restart the hold —
+    // only structural damage does.
+    bool clean = true;
+    if (checker_.enabled()) {
+        auto violations =
+            checker_.checkTopology(hierarchy.topology(), shapeRule());
+        const auto occupancy = checker_.checkOccupancy(hierarchy);
+        violations.insert(violations.end(), occupancy.begin(),
+                          occupancy.end());
+        clean = !checker_.report("quarantine epoch", violations);
+    }
+    if (clean) {
+        if (--quarantineLeft_ == 0)
+            ++robust_.recoveries;
+    } else {
+        ++robust_.violationEpochs;
+        quarantineLeft_ = std::max<std::uint32_t>(
+            1, config_.quarantineCleanEpochs);
+    }
+    // Keep the QoS miss snapshot current so the first post-quarantine
+    // epoch does not see a multi-epoch miss delta.
+    for (std::uint32_t c = 0; c < numCores_; ++c) {
+        lastMissSnapshot_[c] =
+            hierarchy.coreStats(static_cast<CoreId>(c)).misses();
+    }
+    hierarchy.resetFootprints();
+}
+
 void
 MorphController::epochBoundary(Hierarchy &hierarchy)
 {
     ++stats_.decisions;
+
+    // Injected ACFV soft errors land before the footprints are read,
+    // like real upsets accumulated over the epoch.
+    if (FaultInjector *faults = faultInjector()) {
+        faults->injectAcfvFaults(hierarchy.l2());
+        faults->injectAcfvFaults(hierarchy.l3());
+    }
+
+    if (quarantineLeft_ > 0) {
+        quarantineEpoch(hierarchy);
+        return;
+    }
 
     if (config_.qosThrottling)
         throttleMsat(hierarchy);
@@ -428,16 +573,36 @@ MorphController::epochBoundary(Hierarchy &hierarchy)
     const CacheLevelModel &l2 = hierarchy.l2();
     const CacheLevelModel &l3 = hierarchy.l3();
 
-    if (config_.conflict == ConflictPolicy::MergeAggressive) {
-        doL3Merges(l3, st);
-        doL2Merges(l2, l3, st);
+    const bool phases_ok = [&]() {
+        if (config_.conflict == ConflictPolicy::MergeAggressive) {
+            doL3Merges(l3, st);
+            if (checkDecision(st, "L3 merge phase"))
+                return false;
+            doL2Merges(l2, l3, st);
+            if (checkDecision(st, "L2 merge phase"))
+                return false;
+            doL2Splits(l2, st);
+            if (checkDecision(st, "L2 split phase"))
+                return false;
+            doL3Splits(l3, l2, st);
+            return !checkDecision(st, "L3 split phase");
+        }
         doL2Splits(l2, st);
+        if (checkDecision(st, "L2 split phase"))
+            return false;
         doL3Splits(l3, l2, st);
-    } else {
-        doL2Splits(l2, st);
-        doL3Splits(l3, l2, st);
+        if (checkDecision(st, "L3 split phase"))
+            return false;
         doL3Merges(l3, st);
+        if (checkDecision(st, "L3 merge phase"))
+            return false;
         doL2Merges(l2, l3, st);
+        return !checkDecision(st, "L2 merge phase");
+    }();
+    if (!phases_ok) {
+        handleViolation(hierarchy, true);
+        hierarchy.resetFootprints();
+        return;
     }
 
     mergedLastEpoch_ = st.merges > 0;
@@ -460,11 +625,78 @@ MorphController::epochBoundary(Hierarchy &hierarchy)
     topo.numCores = numCores_;
     topo.l2 = std::move(st.l2);
     topo.l3 = std::move(st.l3);
+
+    // Injected controller fault: corrupt the finished proposal into
+    // an illegal shape before it reaches the reconfiguration engine.
+    if (FaultInjector *faults = faultInjector())
+        faults->corruptTopology(topo);
+
+    if (checker_.enabled() &&
+        checker_.report("epoch proposal",
+                        checker_.checkTopology(topo, shapeRule()))) {
+        handleViolation(hierarchy, true);
+        hierarchy.resetFootprints();
+        return;
+    }
+
     if (!(topo == hierarchy.topology())) {
         ++stats_.activeEpochs;
-        hierarchy.reconfigure(topo);
+        if (checker_.enabled()) {
+            const auto before = InvariantChecker::snapshot(hierarchy);
+            hierarchy.reconfigure(topo);
+            const auto violations =
+                checker_.checkConservation(hierarchy, before);
+            if (checker_.report("post-reconfiguration", violations))
+                handleViolation(hierarchy, false);
+        } else {
+            hierarchy.reconfigure(topo);
+        }
     }
     hierarchy.resetFootprints();
+}
+
+std::string
+MorphController::robustnessReport() const
+{
+    const FaultInjector *faults = faultInjector();
+    if (!checker_.enabled() && faults == nullptr)
+        return "";
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    const CheckStats &cs = checker_.stats();
+    counters.emplace_back("checks run", cs.checksRun);
+    counters.emplace_back("violations detected", cs.violations);
+    for (std::size_t k = 0; k < numInvariantKinds; ++k) {
+        if (cs.byKind[k] == 0)
+            continue;
+        counters.emplace_back(
+            std::string("violations: ") +
+                invariantKindName(static_cast<InvariantKind>(k)),
+            cs.byKind[k]);
+    }
+    counters.emplace_back("violation epochs", robust_.violationEpochs);
+    counters.emplace_back("dropped proposals",
+                          robust_.droppedTopologies);
+    counters.emplace_back("quarantines entered", robust_.quarantines);
+    counters.emplace_back("quarantine epochs",
+                          robust_.quarantineEpochs);
+    counters.emplace_back("recoveries", robust_.recoveries);
+    if (faults != nullptr) {
+        const FaultStats &fs = faults->stats();
+        counters.emplace_back("injected ACFV bit flips",
+                              fs.acfvBitFlips);
+        counters.emplace_back("injected classification flips",
+                              fs.classificationFlips);
+        counters.emplace_back("injected illegal topologies",
+                              fs.illegalTopologies);
+        counters.emplace_back("injected bus grant drops", fs.busDrops);
+        counters.emplace_back("injected bus grant delays",
+                              fs.busDelays);
+        counters.emplace_back("injected bus fault cycles",
+                              fs.busFaultCycles);
+    }
+    return countersBlock(std::string("robustness [") +
+                             checkPolicyName(checker_.policy()) + "]",
+                         counters);
 }
 
 } // namespace morphcache

@@ -26,8 +26,12 @@
 #define MORPHCACHE_MORPH_CONTROLLER_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "check/fault.hh"
+#include "check/invariant.hh"
 #include "hierarchy/hierarchy.hh"
 #include "hierarchy/topology.hh"
 
@@ -135,6 +139,30 @@ struct MorphConfig
      * them and pay the corresponding latency stretch.
      */
     bool allowNonNeighborGroups = false;
+
+    /**
+     * Runtime invariant checking (src/check): validate partition
+     * validity, group shapes, inclusiveness, and line conservation
+     * at every epoch decision and reconfiguration. Off preserves
+     * the historical unchecked behaviour; Log detects, counts, and
+     * drops offending proposals; Recover additionally quarantines
+     * the hierarchy to the all-private topology; Abort panics for
+     * debugging.
+     */
+    CheckPolicy checkPolicy = CheckPolicy::Off;
+
+    /**
+     * Recover policy: clean epochs the hierarchy must survive in
+     * quarantine before adaptation re-enters.
+     */
+    std::uint32_t quarantineCleanEpochs = 4;
+
+    /**
+     * Fault-injection campaign (src/check). When any fault class
+     * is enabled the controller owns a seed-driven FaultInjector
+     * and exposes it for bus-hook wiring.
+     */
+    FaultConfig faults;
 };
 
 /** Reconfiguration activity counters (Section 2.4). */
@@ -160,6 +188,21 @@ struct ReconfigStats
     }
 };
 
+/** Graceful-degradation counters (Section: robustness subsystem). */
+struct RobustnessStats
+{
+    /** Epoch decisions on which at least one violation fired. */
+    std::uint64_t violationEpochs = 0;
+    /** Proposals dropped under the Log policy. */
+    std::uint64_t droppedTopologies = 0;
+    /** Entries into quarantine (Recover policy). */
+    std::uint64_t quarantines = 0;
+    /** Epoch decisions spent holding the quarantine topology. */
+    std::uint64_t quarantineEpochs = 0;
+    /** Completed quarantines: adaptation re-entered. */
+    std::uint64_t recoveries = 0;
+};
+
 /**
  * Epoch-granularity MorphCache controller.
  */
@@ -183,6 +226,37 @@ class MorphController
 
     /** Configuration. */
     const MorphConfig &config() const { return config_; }
+
+    // --- Robustness subsystem -----------------------------------
+
+    /** Invariant checker (counters; policy from the config). */
+    const InvariantChecker &checker() const { return checker_; }
+
+    /** Degradation counters. */
+    const RobustnessStats &robustness() const { return robust_; }
+
+    /** Currently holding the quarantine topology? */
+    bool inQuarantine() const { return quarantineLeft_ > 0; }
+
+    /**
+     * Fault injector in effect: the externally attached one, else
+     * the config-owned one, else nullptr. Callers wiring bus-fault
+     * hooks (MorphCacheSystem) read this.
+     */
+    FaultInjector *faultInjector() const;
+
+    /**
+     * Attach an external fault injector (tests; not owned;
+     * nullptr detaches and falls back to the config-owned one).
+     */
+    void attachFaultInjector(FaultInjector *injector);
+
+    /**
+     * Human-readable robustness summary: checker, degradation, and
+     * injection counters. Empty string when checking is off and no
+     * faults were injected.
+     */
+    std::string robustnessReport() const;
 
   private:
     /** Working copy of the topology during one epoch decision. */
@@ -231,6 +305,28 @@ class MorphController
     /** QoS MSAT throttling from per-core miss deltas (Section 5.3). */
     void throttleMsat(const Hierarchy &hierarchy);
 
+    /** Shape rule implied by the Section 5.5 extension flags. */
+    ShapeRule shapeRule() const;
+
+    /**
+     * Validate an intermediate decision state (after a merge/split
+     * phase). @return true when a violation fired (decision must
+     * be abandoned).
+     */
+    bool checkDecision(const DecisionState &st, const char *phase);
+
+    /** React to a detected violation according to the policy. */
+    void handleViolation(Hierarchy &hierarchy, bool dropped_proposal);
+
+    /**
+     * Degrade to the static all-private topology (always legal)
+     * and hold until quarantineCleanEpochs clean epochs pass.
+     */
+    void enterQuarantine(Hierarchy &hierarchy);
+
+    /** One epoch decision spent inside quarantine. */
+    void quarantineEpoch(Hierarchy &hierarchy);
+
     MorphConfig config_;
     std::uint32_t numCores_;
     MsatConfig msatNow_;
@@ -245,6 +341,16 @@ class MorphController
     std::vector<std::uint64_t> prevEpochMisses_;
     bool havePrevEpoch_ = false;
     bool mergedLastEpoch_ = false;
+
+    // --- Robustness subsystem -----------------------------------
+    InvariantChecker checker_;
+    RobustnessStats robust_;
+    /** Clean epochs still required before leaving quarantine. */
+    std::uint32_t quarantineLeft_ = 0;
+    /** Config-owned injector (when config.faults is enabled). */
+    std::unique_ptr<FaultInjector> ownedFaults_;
+    /** External injector override (tests); not owned. */
+    FaultInjector *attachedFaults_ = nullptr;
 };
 
 } // namespace morphcache

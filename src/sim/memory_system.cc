@@ -71,6 +71,10 @@ MorphCacheSystem::MorphCacheSystem(HierarchyParams params,
 {
     // MorphCache starts from the per-core private design point
     // (Section 2), which is the hierarchy's default topology.
+    if (FaultInjector *faults = controller_.faultInjector()) {
+        hierarchy_.l2().setBusFaultHook(faults);
+        hierarchy_.l3().setBusFaultHook(faults);
+    }
 }
 
 AccessResult

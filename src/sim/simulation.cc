@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "stats/metrics.hh"
 
@@ -13,8 +14,12 @@ Simulation::Simulation(MemorySystem &system, Workload &workload,
       cycles_(workload.numCores(), 0.0),
       instrs_(workload.numCores(), 0.0)
 {
-    MC_ASSERT(system.numCores() >= workload.numCores());
-    MC_ASSERT(params_.refsPerEpochPerCore > 0);
+    if (system.numCores() < workload.numCores()) {
+        throw ConfigError("memory system models fewer cores than the "
+                          "workload issues from");
+    }
+    if (params_.refsPerEpochPerCore == 0)
+        throw ConfigError("epoch length must be nonzero references");
 }
 
 EpochMetrics

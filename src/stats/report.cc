@@ -71,4 +71,24 @@ summaryLine(const Series &series)
     return buf;
 }
 
+std::string
+countersBlock(const std::string &title,
+              const std::vector<std::pair<std::string,
+                                          std::uint64_t>> &counters)
+{
+    std::size_t width = 0;
+    for (const auto &[name, value] : counters)
+        width = std::max(width, name.size());
+    std::string out = title;
+    out += '\n';
+    char buf[192];
+    for (const auto &[name, value] : counters) {
+        std::snprintf(buf, sizeof(buf), "  %-*s %12llu\n",
+                      static_cast<int>(width), name.c_str(),
+                      static_cast<unsigned long long>(value));
+        out += buf;
+    }
+    return out;
+}
+
 } // namespace morphcache

@@ -9,7 +9,9 @@
 #ifndef MORPHCACHE_STATS_REPORT_HH
 #define MORPHCACHE_STATS_REPORT_HH
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace morphcache {
@@ -37,6 +39,16 @@ std::string csvString(const std::vector<Series> &series);
  * the CLI tool's end-of-run report.
  */
 std::string summaryLine(const Series &series);
+
+/**
+ * Aligned block of named integer counters under a title line —
+ * used for the robustness report. Empty counter list renders the
+ * title alone.
+ */
+std::string
+countersBlock(const std::string &title,
+              const std::vector<std::pair<std::string,
+                                          std::uint64_t>> &counters);
 
 } // namespace morphcache
 

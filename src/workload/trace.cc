@@ -2,7 +2,9 @@
 #include <cstring>
 
 #include <cstdio>
+#include <string>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace morphcache {
@@ -30,29 +32,94 @@ putU64(std::FILE *f, std::uint64_t v)
     std::fwrite(b, 1, 8, f);
 }
 
-std::uint32_t
-getU32(std::FILE *f)
+/**
+ * Byte reader over a trace file. Owns the FILE handle (closed on
+ * scope exit, including the throwing paths) and tracks the byte
+ * offset so every TraceError names the file and position — a
+ * corrupt multi-gigabyte trace is debuggable only with that
+ * context.
+ */
+class TraceReader
 {
-    unsigned char b[4];
-    if (std::fread(b, 1, 4, f) != 4)
-        fatal("trace file truncated");
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
-    return v;
-}
+  public:
+    explicit TraceReader(const std::string &path) : path_(path)
+    {
+        f_ = std::fopen(path.c_str(), "rb");
+        if (!f_)
+            throw TraceError("cannot open trace file '" + path + "'");
+    }
 
-std::uint64_t
-getU64(std::FILE *f)
-{
-    unsigned char b[8];
-    if (std::fread(b, 1, 8, f) != 8)
-        fatal("trace file truncated");
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
-    return v;
-}
+    ~TraceReader()
+    {
+        if (f_)
+            std::fclose(f_);
+    }
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw TraceError("'" + path_ + "' at byte " +
+                         std::to_string(offset_) + ": " + what);
+    }
+
+    /** Next record kind byte, or EOF at a clean record boundary. */
+    int
+    kind()
+    {
+        const int c = std::fgetc(f_);
+        if (c != EOF)
+            ++offset_;
+        return c;
+    }
+
+    std::uint8_t
+    byte(const char *what)
+    {
+        const int c = std::fgetc(f_);
+        if (c == EOF)
+            fail(std::string("truncated reading ") + what);
+        ++offset_;
+        return static_cast<std::uint8_t>(c);
+    }
+
+    void
+    bytes(void *out, std::size_t n, const char *what)
+    {
+        if (std::fread(out, 1, n, f_) != n)
+            fail(std::string("truncated reading ") + what);
+        offset_ += n;
+    }
+
+    std::uint32_t
+    u32(const char *what)
+    {
+        unsigned char b[4];
+        bytes(b, 4, what);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64(const char *what)
+    {
+        unsigned char b[8];
+        bytes(b, 8, what);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+  private:
+    std::string path_;
+    std::FILE *f_ = nullptr;
+    std::uint64_t offset_ = 0;
+};
 
 } // namespace
 
@@ -120,52 +187,57 @@ writeTrace(const Trace &trace, const std::string &path)
 Trace
 readTrace(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        fatal("cannot open trace file '%s'", path.c_str());
-    char magic[4];
-    if (std::fread(magic, 1, 4, f) != 4 ||
-        std::memcmp(magic, traceMagic, 4) != 0) {
-        fatal("'%s' is not a MorphCache trace", path.c_str());
+    TraceReader in(path);
+    unsigned char magic[4];
+    in.bytes(magic, 4, "magic");
+    if (std::memcmp(magic, traceMagic, 4) != 0)
+        throw TraceError("'" + path + "' is not a MorphCache trace");
+    const std::uint32_t version = in.u32("version");
+    if (version != traceVersion) {
+        in.fail("unsupported trace version " +
+                std::to_string(version) + " (expected " +
+                std::to_string(traceVersion) + ")");
     }
-    const std::uint32_t version = getU32(f);
-    if (version != traceVersion)
-        fatal("unsupported trace version %u", version);
 
     Trace trace;
-    trace.numCores = getU32(f);
-    if (trace.numCores == 0 || trace.numCores > 1024)
-        fatal("implausible core count %u in trace", trace.numCores);
+    trace.numCores = in.u32("core count");
+    if (trace.numCores == 0 || trace.numCores > 1024) {
+        in.fail("implausible core count " +
+                std::to_string(trace.numCores));
+    }
 
     int kind;
-    while ((kind = std::fgetc(f)) != EOF) {
+    while ((kind = in.kind()) != EOF) {
         if (kind == 1) {
-            const std::uint32_t epoch = getU32(f);
-            if (epoch != trace.epochs.size())
-                fatal("out-of-order epoch marker %u", epoch);
+            const std::uint32_t epoch = in.u32("epoch marker");
+            if (epoch != trace.epochs.size()) {
+                in.fail("out-of-order epoch marker " +
+                        std::to_string(epoch) + " (expected " +
+                        std::to_string(trace.epochs.size()) + ")");
+            }
             trace.epochs.emplace_back(trace.numCores);
         } else if (kind == 0) {
             if (trace.epochs.empty())
-                fatal("access record before first epoch marker");
-            const int lo = std::fgetc(f);
-            const int hi = std::fgetc(f);
-            const int type = std::fgetc(f);
-            if (lo == EOF || hi == EOF || type == EOF)
-                fatal("trace file truncated");
+                in.fail("access record before first epoch marker");
+            const std::uint8_t lo = in.byte("access record");
+            const std::uint8_t hi = in.byte("access record");
+            const std::uint8_t type = in.byte("access record");
             MemAccess access;
             access.core = static_cast<CoreId>(lo | (hi << 8));
             access.type = type ? AccessType::Write
                                : AccessType::Read;
-            access.addr = getU64(f);
-            if (access.core >= trace.numCores)
-                fatal("access for core %u beyond core count",
-                      access.core);
+            access.addr = in.u64("access address");
+            if (access.core >= trace.numCores) {
+                in.fail("access record for core " +
+                        std::to_string(access.core) +
+                        " but the trace declares " +
+                        std::to_string(trace.numCores) + " cores");
+            }
             trace.epochs.back()[access.core].push_back(access);
         } else {
-            fatal("corrupt record kind %d in trace", kind);
+            in.fail("corrupt record kind " + std::to_string(kind));
         }
     }
-    std::fclose(f);
     return trace;
 }
 
@@ -174,8 +246,27 @@ TraceWorkload::TraceWorkload(Trace trace, bool shared_address_space)
       sharedAddressSpace_(shared_address_space),
       cursor_(trace_.numCores, 0)
 {
-    MC_ASSERT(trace_.numCores > 0);
-    MC_ASSERT(!trace_.epochs.empty());
+    if (trace_.numCores == 0)
+        throw TraceError("trace declares zero cores");
+    if (trace_.epochs.empty())
+        throw TraceError("trace contains no epochs");
+    for (std::size_t e = 0; e < trace_.epochs.size(); ++e) {
+        if (trace_.epochs[e].size() != trace_.numCores) {
+            throw TraceError(
+                "trace epoch " + std::to_string(e) + " has " +
+                std::to_string(trace_.epochs[e].size()) +
+                " per-core sequences but the trace declares " +
+                std::to_string(trace_.numCores) + " cores");
+        }
+        for (std::uint32_t c = 0; c < trace_.numCores; ++c) {
+            if (trace_.epochs[e][c].empty()) {
+                throw TraceError(
+                    "trace epoch " + std::to_string(e) +
+                    " has no references for core " +
+                    std::to_string(c) + "; replay would stall");
+            }
+        }
+    }
 }
 
 MemAccess

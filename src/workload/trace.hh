@@ -51,14 +51,22 @@ Trace recordTrace(Workload &workload, std::uint32_t num_epochs,
 /** Serialize a trace to a file; fatal() on I/O errors. */
 void writeTrace(const Trace &trace, const std::string &path);
 
-/** Load a trace from a file; fatal() on parse errors. */
+/**
+ * Load a trace from a file. Malformed input — missing file, wrong
+ * magic, version mismatch, truncation mid-record, out-of-range core
+ * ids, out-of-order epoch markers, unknown record kinds — throws
+ * TraceError naming the file and byte offset, never crashes or
+ * reads uninitialized data.
+ */
 Trace readTrace(const std::string &path);
 
 /**
  * Replays a Trace through the Workload interface. Each epoch's
  * per-core sequences are consumed in order; if the simulator asks
  * for more references than an epoch holds, the sequence wraps (and
- * a wrap counter records it).
+ * a wrap counter records it). The constructor rejects traces that
+ * cannot replay (no epochs, missing per-core sequences, an epoch
+ * with no references for some core) with TraceError.
  */
 class TraceWorkload : public Workload
 {

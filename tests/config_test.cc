@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+#include "hierarchy/hierarchy.hh"
 #include "sim/config.hh"
+#include "sim/simulation.hh"
+#include "workload/generator.hh"
 
 namespace morphcache {
 namespace {
@@ -92,6 +96,88 @@ TEST(Config, RealisticReplacementInExperimentConfigs)
     EXPECT_EQ(static_cast<int>(
                   paperScaleHierarchy(16).l3.policy),
               static_cast<int>(ReplPolicy::TreePLRU));
+}
+
+/** Expect validate() to throw a ConfigError mentioning `needle`. */
+void
+expectInvalid(const HierarchyParams &params, const std::string &needle)
+{
+    try {
+        params.validate();
+        FAIL() << "expected ConfigError containing '" << needle
+               << "'";
+    } catch (const ConfigError &err) {
+        EXPECT_NE(std::string(err.what()).find(needle),
+                  std::string::npos)
+            << "actual message: " << err.what();
+    }
+}
+
+TEST(Config, ShippedConfigurationsValidate)
+{
+    EXPECT_NO_THROW(HierarchyParams::defaultParams(16).validate());
+    EXPECT_NO_THROW(paperScaleHierarchy(16).validate());
+    EXPECT_NO_THROW(fastScaleHierarchy(8).validate());
+}
+
+TEST(Config, ValidateRejectsNonPowerOfTwoCapacity)
+{
+    HierarchyParams params = fastScaleHierarchy(4);
+    params.l2.sliceGeom.sizeBytes = 3 * 1024;
+    expectInvalid(params, "not a power of two");
+}
+
+TEST(Config, ValidateRejectsNonPowerOfTwoLineSize)
+{
+    HierarchyParams params = fastScaleHierarchy(4);
+    params.l1Geom.lineBytes = 48;
+    expectInvalid(params, "line size 48");
+}
+
+TEST(Config, ValidateRejectsAssocBeyondSliceLines)
+{
+    HierarchyParams params = fastScaleHierarchy(4);
+    // 4 KB / 64 B = 64 lines; 128 ways cannot fit.
+    params.l2.sliceGeom = CacheGeometry{4096, 128, 64};
+    expectInvalid(params, "associativity 128");
+}
+
+TEST(Config, ValidateRejectsSliceCountMismatch)
+{
+    HierarchyParams params = fastScaleHierarchy(4);
+    params.l3.numSlices = 8;
+    expectInvalid(params, "one slice per core");
+}
+
+TEST(Config, ValidateRejectsLineSizeMismatchAcrossLevels)
+{
+    HierarchyParams params = fastScaleHierarchy(4);
+    params.l3.sliceGeom.lineBytes = 128;
+    expectInvalid(params, "line size must match");
+}
+
+TEST(Config, ValidateRejectsZeroLatency)
+{
+    HierarchyParams params = fastScaleHierarchy(4);
+    params.memLatency = 0;
+    expectInvalid(params, "latencies must be nonzero");
+}
+
+TEST(Config, HierarchyConstructorValidates)
+{
+    HierarchyParams params = fastScaleHierarchy(4);
+    params.l2.numSlices = 2;
+    EXPECT_THROW(Hierarchy{params}, ConfigError);
+}
+
+TEST(Config, SimulationRejectsZeroEpochLength)
+{
+    const HierarchyParams hier = fastScaleHierarchy(16);
+    MixWorkload workload(mixByName("MIX 01"), generatorFor(hier), 7);
+    MorphCacheSystem system(hier, MorphConfig{});
+    SimParams sim;
+    sim.refsPerEpochPerCore = 0;
+    EXPECT_THROW(Simulation(system, workload, sim), ConfigError);
 }
 
 } // namespace

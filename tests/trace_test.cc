@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "common/error.hh"
 #include "sim/config.hh"
 #include "sim/simulation.hh"
 #include "workload/trace.hh"
@@ -148,15 +151,161 @@ TEST(Trace, CloneSupportsIdealOfflineCheckpointing)
         EXPECT_EQ(replay.next(5).addr, copy->next(5).addr);
 }
 
+/** Write raw bytes as a (usually malformed) trace file. */
+std::string
+writeRaw(const char *name, const std::vector<std::uint8_t> &bytes)
+{
+    const std::string path = tempPath(name);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    if (!bytes.empty())
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+/** Valid header: magic, version 1, `cores` cores. */
+std::vector<std::uint8_t>
+header(std::uint32_t cores)
+{
+    std::vector<std::uint8_t> bytes = {'M', 'C', 'T', 'R',
+                                       1,   0,   0,   0};
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(cores >> (8 * i)));
+    return bytes;
+}
+
+/** Expect readTrace to throw a TraceError mentioning `needle`. */
+void
+expectReadError(const std::string &path, const std::string &needle)
+{
+    try {
+        readTrace(path);
+        FAIL() << "expected TraceError containing '" << needle << "'";
+    } catch (const TraceError &err) {
+        EXPECT_NE(std::string(err.what()).find(needle),
+                  std::string::npos)
+            << "actual message: " << err.what();
+    }
+    std::remove(path.c_str());
+}
+
 TEST(Trace, RejectsCorruptFiles)
 {
-    const std::string path = tempPath("bogus.mctrace");
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    ASSERT_NE(f, nullptr);
-    std::fputs("definitely not a trace", f);
-    std::fclose(f);
-    EXPECT_DEATH(readTrace(path), "not a MorphCache trace");
+    expectReadError(
+        writeRaw("bogus.mctrace", {'d', 'e', 'f', 'i', 'n', 'i', 't',
+                                   'e', 'l', 'y', ' ', 'n', 'o', 't'}),
+        "not a MorphCache trace");
+}
+
+TEST(Trace, RejectsMissingFile)
+{
+    EXPECT_THROW(readTrace(tempPath("no-such-file.mctrace")),
+                 TraceError);
+}
+
+TEST(Trace, RejectsEmptyFile)
+{
+    expectReadError(writeRaw("empty.mctrace", {}), "truncated");
+}
+
+TEST(Trace, RejectsTruncatedHeader)
+{
+    // Magic present but the version field is cut short.
+    expectReadError(writeRaw("shorthdr.mctrace",
+                             {'M', 'C', 'T', 'R', 1, 0}),
+                    "truncated reading version");
+}
+
+TEST(Trace, RejectsVersionMismatch)
+{
+    auto bytes = header(2);
+    bytes[4] = 9; // version 9
+    expectReadError(writeRaw("version.mctrace", bytes),
+                    "unsupported trace version 9");
+}
+
+TEST(Trace, RejectsImplausibleCoreCount)
+{
+    expectReadError(writeRaw("zerocores.mctrace", header(0)),
+                    "implausible core count");
+    expectReadError(writeRaw("manycores.mctrace", header(4096)),
+                    "implausible core count");
+}
+
+TEST(Trace, RejectsTruncatedAccessRecord)
+{
+    auto bytes = header(2);
+    bytes.insert(bytes.end(), {1, 0, 0, 0, 0}); // epoch 0 marker
+    bytes.insert(bytes.end(), {0, 0, 0});       // access cut short
+    expectReadError(writeRaw("shortrec.mctrace", bytes), "truncated");
+}
+
+TEST(Trace, RejectsOutOfRangeCore)
+{
+    auto bytes = header(2);
+    bytes.insert(bytes.end(), {1, 0, 0, 0, 0}); // epoch 0 marker
+    // Access for core 7 in a 2-core trace.
+    bytes.insert(bytes.end(), {0, 7, 0, 0});
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(0); // address
+    expectReadError(writeRaw("badcore.mctrace", bytes),
+                    "core 7 but the trace declares 2 cores");
+}
+
+TEST(Trace, RejectsAccessBeforeEpochMarker)
+{
+    auto bytes = header(2);
+    bytes.insert(bytes.end(), {0, 0, 0, 0});
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(0);
+    expectReadError(writeRaw("noepoch.mctrace", bytes),
+                    "before first epoch marker");
+}
+
+TEST(Trace, RejectsOutOfOrderEpochMarker)
+{
+    auto bytes = header(2);
+    bytes.insert(bytes.end(), {1, 3, 0, 0, 0}); // epoch 3 first
+    expectReadError(writeRaw("epochorder.mctrace", bytes),
+                    "out-of-order epoch marker 3");
+}
+
+TEST(Trace, RejectsUnknownRecordKind)
+{
+    auto bytes = header(2);
+    bytes.insert(bytes.end(), {1, 0, 0, 0, 0}); // epoch 0 marker
+    bytes.push_back(0xee);
+    expectReadError(writeRaw("badkind.mctrace", bytes),
+                    "corrupt record kind");
+}
+
+TEST(Trace, ErrorsNameFileAndOffset)
+{
+    const std::string path =
+        writeRaw("offset.mctrace", {'M', 'C', 'T', 'R', 1, 0});
+    try {
+        readTrace(path);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+        EXPECT_NE(what.find("at byte"), std::string::npos) << what;
+    }
     std::remove(path.c_str());
+}
+
+TEST(Trace, WorkloadRejectsUnreplayableTraces)
+{
+    EXPECT_THROW(TraceWorkload(Trace{}), TraceError);
+
+    // An epoch whose per-core sequence is empty cannot replay.
+    Trace empty_core;
+    empty_core.numCores = 2;
+    empty_core.epochs.resize(1);
+    empty_core.epochs[0].resize(2);
+    empty_core.epochs[0][0].push_back(MemAccess{});
+    EXPECT_THROW(TraceWorkload(std::move(empty_core)), TraceError);
 }
 
 } // namespace

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Sanitizer CI leg: configure a separate build tree with ASan+UBSan
+# enabled and run the whole test suite under it. Run from the repo
+# root: tools/ci_sanitize.sh [build-dir]
+set -eu
+
+builddir="${1:-build-sanitize}"
+
+cmake -B "$builddir" -S . -DMORPHCACHE_SANITIZE=ON
+cmake --build "$builddir" -j
+ctest --test-dir "$builddir" --output-on-failure -j "$(nproc)"

@@ -20,6 +20,20 @@
  *     --csv FILE         dump per-epoch throughput/misses as CSV
  *     --record FILE      record the workload to a trace file and exit
  *
+ * Robustness options (morph scheme):
+ *     --check off|log|recover|abort   invariant-check policy
+ *                                        (default off)
+ *     --quarantine N     clean epochs held in the all-private
+ *                        quarantine topology before re-entering
+ *                        adaptation (default 4)
+ *     --inject-seed N        fault-injection RNG seed (default 1)
+ *     --inject-acfv N        ACFV bits flipped per level per epoch
+ *     --inject-class P       probability a classification inverts
+ *     --inject-illegal P     probability an epoch's proposal is
+ *                            corrupted into an illegal topology
+ *     --inject-bus-drop P    probability a bus grant is dropped
+ *     --inject-bus-delay P   probability a bus grant is delayed
+ *
  * Examples:
  *   morphcache_sim --workload mix:8 --scheme morph
  *   morphcache_sim --workload parsec:dedup --scheme static:4:4:1
@@ -35,6 +49,9 @@
 
 #include "baselines/dsr.hh"
 #include "baselines/pipp.hh"
+#include "check/fault.hh"
+#include "check/invariant.hh"
+#include "common/error.hh"
 #include "sim/config.hh"
 #include "sim/simulation.hh"
 #include "stats/report.hh"
@@ -55,6 +72,9 @@ struct Options
     bool paperScale = false;
     std::string csvPath;
     std::string recordPath;
+    std::string checkPolicy = "off";
+    std::uint32_t quarantine = 4;
+    FaultConfig faults;
 };
 
 [[noreturn]] void
@@ -65,7 +85,13 @@ usage(const char *argv0)
                  " [--scheme morph|static:X:Y:Z|pipp|dsr]\n"
                  "          [--cores N] [--epochs N] [--refs N] "
                  "[--seed N] [--paper-scale] [--csv FILE]\n"
-                 "          [--record FILE]\n",
+                 "          [--record FILE]\n"
+                 "          [--check off|log|recover|abort] "
+                 "[--quarantine N] [--inject-seed N]\n"
+                 "          [--inject-acfv N] [--inject-class P] "
+                 "[--inject-illegal P]\n"
+                 "          [--inject-bus-drop P] "
+                 "[--inject-bus-delay P]\n",
                  argv0);
     std::exit(2);
 }
@@ -101,6 +127,30 @@ parseArgs(int argc, char **argv)
             opts.csvPath = value();
         } else if (arg == "--record") {
             opts.recordPath = value();
+        } else if (arg == "--check") {
+            opts.checkPolicy = value();
+        } else if (arg == "--quarantine") {
+            opts.quarantine = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--inject-seed") {
+            opts.faults.seed =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--inject-acfv") {
+            opts.faults.acfvFlipsPerEpoch =
+                static_cast<std::uint32_t>(
+                    std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--inject-class") {
+            opts.faults.classificationFlipChance =
+                std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--inject-illegal") {
+            opts.faults.illegalTopologyChance =
+                std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--inject-bus-drop") {
+            opts.faults.busDropChance =
+                std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--inject-bus-delay") {
+            opts.faults.busDelayChance =
+                std::strtod(value().c_str(), nullptr);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
@@ -153,6 +203,9 @@ makeSystem(const Options &opts, const HierarchyParams &hier,
     if (opts.scheme == "morph") {
         MorphConfig config;
         config.sharedAddressSpace = shared_space;
+        config.checkPolicy = checkPolicyFromName(opts.checkPolicy);
+        config.quarantineCleanEpochs = opts.quarantine;
+        config.faults = opts.faults;
         auto system =
             std::make_unique<MorphCacheSystem>(hier, config);
         *morph_out = system.get();
@@ -177,10 +230,8 @@ makeSystem(const Options &opts, const HierarchyParams &hier,
 } // namespace
 
 int
-main(int argc, char **argv)
+run(const Options &opts)
 {
-    const Options opts = parseArgs(argc, argv);
-
     HierarchyParams hier = opts.paperScale
                                ? paperScaleHierarchy(opts.cores)
                                : fastScaleHierarchy(opts.cores);
@@ -230,6 +281,10 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         stats.asymmetricOutcomes),
                     morph->hierarchy().topology().name().c_str());
+        const std::string robustness =
+            morph->controller().robustnessReport();
+        if (!robustness.empty())
+            std::printf("%s", robustness.c_str());
     }
 
     Series tput{"throughput", {}};
@@ -248,4 +303,16 @@ main(int argc, char **argv)
                     opts.csvPath.c_str());
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    try {
+        return run(opts);
+    } catch (const SimError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
 }
