@@ -13,6 +13,9 @@
 #include "hierarchy/cache_level.hh"
 #include "hierarchy/hierarchy.hh"
 #include "interconnect/arbiter.hh"
+#include "stats/profiler.hh"
+#include "stats/registry.hh"
+#include "stats/tracing.hh"
 #include "workload/generator.hh"
 
 using namespace morphcache;
@@ -101,6 +104,82 @@ BM_HierarchyAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_HierarchyAccess);
+
+// --- Observability overhead gates ------------------------------
+//
+// The acceptance bar for the stats/tracing/profiling subsystem is
+// <2% added cost on the hot path with everything disabled. Compare
+// these against their plain counterparts above.
+
+void
+BM_HierarchyAccessObservedDisabled(benchmark::State &state)
+{
+    // Identical to BM_HierarchyAccess, but with the full disabled
+    // observability stack in the loop: a registry sampling the
+    // hierarchy (callback-bound, so nothing on the access path), a
+    // disabled tracer gate, and a disabled scoped phase timer.
+    Hierarchy hierarchy(HierarchyParams::defaultParams(16));
+    StatsRegistry registry;
+    hierarchy.registerStats(registry);
+    Profiler::global().setEnabled(false);
+    Tracer tracer(nullptr);
+    GeneratorParams params;
+    CoreRefGenerator gen(profileByName("gcc"), 0, params, 7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        ScopedPhaseTimer timer(ProfPhase::RefProcessing);
+        if (tracer.enabled()) {
+            TraceEvent ev("access");
+            tracer.emit(ev);
+        }
+        const auto result = hierarchy.access(gen.next(), now);
+        now += result.latency;
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_HierarchyAccessObservedDisabled);
+
+void
+BM_ScopedTimerDisabled(benchmark::State &state)
+{
+    Profiler::global().setEnabled(false);
+    for (auto _ : state) {
+        ScopedPhaseTimer timer(ProfPhase::RefProcessing);
+        benchmark::DoNotOptimize(timer);
+    }
+}
+BENCHMARK(BM_ScopedTimerDisabled);
+
+void
+BM_TracerDisabledGate(benchmark::State &state)
+{
+    Tracer tracer(nullptr);
+    std::uint64_t emitted = 0;
+    for (auto _ : state) {
+        if (tracer.enabled()) {
+            TraceEvent ev("gate");
+            ev.u64("n", emitted);
+            tracer.emit(ev);
+            ++emitted;
+        }
+        benchmark::DoNotOptimize(emitted);
+    }
+}
+BENCHMARK(BM_TracerDisabledGate);
+
+void
+BM_RegistrySnapshot(benchmark::State &state)
+{
+    // Epoch-granularity cost (paid once per epoch, not per access):
+    // sampling every bound stat of a 16-core hierarchy.
+    Hierarchy hierarchy(HierarchyParams::defaultParams(16));
+    StatsRegistry registry;
+    hierarchy.registerStats(registry);
+    std::uint64_t epoch = 0;
+    for (auto _ : state)
+        registry.snapshotEpoch(epoch++);
+}
+BENCHMARK(BM_RegistrySnapshot);
 
 } // namespace
 

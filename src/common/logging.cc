@@ -2,20 +2,76 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace morphcache {
 
 namespace {
 
-void
-vreport(const char *prefix, const char *fmt, va_list args)
+/** -1 = not yet initialized from MC_LOG_LEVEL. */
+int currentLevel = -1;
+
+LogSink *currentSink = nullptr;
+
+LogLevel
+levelFromEnv()
 {
-    std::fprintf(stderr, "%s: ", prefix);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    const char *env = std::getenv("MC_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Normal;
+    if (std::strcmp(env, "quiet") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::Quiet;
+    if (std::strcmp(env, "verbose") == 0 ||
+        std::strcmp(env, "2") == 0) {
+        return LogLevel::Verbose;
+    }
+    return LogLevel::Normal;
+}
+
+void
+dispatch(const char *kind, const char *text)
+{
+    if (currentSink)
+        currentSink->message(kind, text);
+    else
+        logToStderr(kind, text);
+}
+
+void
+vreport(const char *kind, const char *fmt, va_list args)
+{
+    char buf[1024];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    dispatch(kind, buf);
 }
 
 } // namespace
+
+LogLevel
+logLevel()
+{
+    if (currentLevel < 0)
+        currentLevel = static_cast<int>(levelFromEnv());
+    return static_cast<LogLevel>(currentLevel);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel = static_cast<int>(level);
+}
+
+void
+setLogSink(LogSink *sink)
+{
+    currentSink = sink;
+}
+
+void
+logToStderr(const char *kind, const char *text)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, text);
+}
 
 void
 panic(const char *fmt, ...)
@@ -40,6 +96,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (logLevel() == LogLevel::Quiet)
+        return;
     va_list args;
     va_start(args, fmt);
     vreport("warn", fmt, args);
@@ -49,9 +107,22 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (logLevel() == LogLevel::Quiet)
+        return;
     va_list args;
     va_start(args, fmt);
     vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+verbose(const char *fmt, ...)
+{
+    if (logLevel() != LogLevel::Verbose)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("verbose", fmt, args);
     va_end(args);
 }
 

@@ -2,13 +2,22 @@
  * @file
  * Status/error reporting in the gem5 tradition.
  *
- * panic()  - an internal invariant of the simulator was violated;
- *            aborts so the failure can be debugged.
- * fatal()  - the *user* supplied an impossible configuration; exits
- *            with an error code.
- * warn()   - something questionable happened but simulation can
- *            continue.
- * inform() - plain status output.
+ * panic()   - an internal invariant of the simulator was violated;
+ *             aborts so the failure can be debugged.
+ * fatal()   - the *user* supplied an impossible configuration; exits
+ *             with an error code.
+ * warn()    - something questionable happened but simulation can
+ *             continue.
+ * inform()  - plain status output.
+ * verbose() - chatty progress detail, shown only at -v.
+ *
+ * Output is filtered by a process-wide log level (Quiet drops
+ * warn/inform, Verbose adds verbose(); panic/fatal always print),
+ * initialized from the MC_LOG_LEVEL environment variable
+ * (quiet|normal|verbose or 0|1|2) and overridable by the CLI's
+ * -q/-v flags via setLogLevel(). Messages that pass the filter are
+ * routed through a pluggable LogSink so a tracer can capture them
+ * as structured events; the default sink writes stderr.
  */
 
 #ifndef MORPHCACHE_COMMON_LOGGING_HH
@@ -19,17 +28,58 @@
 
 namespace morphcache {
 
-/** Print "panic: <msg>" to stderr and abort(). */
+/** Output verbosity. Panic/fatal are never filtered. */
+enum class LogLevel : int {
+    /** Errors only: warn/inform/verbose suppressed. */
+    Quiet = 0,
+    /** Default: warn + inform. */
+    Normal = 1,
+    /** Everything, including verbose(). */
+    Verbose = 2,
+};
+
+/** Log level in effect (first call reads MC_LOG_LEVEL). */
+LogLevel logLevel();
+
+/** Override the log level (CLI -q/-v). */
+void setLogLevel(LogLevel level);
+
+/**
+ * Receives every message that passed the level filter.
+ * `kind` is one of "panic", "fatal", "warn", "info", "verbose".
+ */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+
+    virtual void message(const char *kind, const char *text) = 0;
+};
+
+/**
+ * Install a sink (not owned; nullptr restores the stderr default).
+ * Custom sinks that still want terminal output should call
+ * logToStderr() themselves.
+ */
+void setLogSink(LogSink *sink);
+
+/** The default behaviour: "kind: text" on stderr. */
+void logToStderr(const char *kind, const char *text);
+
+/** Print "panic: <msg>" and abort(). Never filtered. */
 [[noreturn]] void panic(const char *fmt, ...);
 
-/** Print "fatal: <msg>" to stderr and exit(1). */
+/** Print "fatal: <msg>" and exit(1). Never filtered. */
 [[noreturn]] void fatal(const char *fmt, ...);
 
-/** Print "warn: <msg>" to stderr. */
+/** Print "warn: <msg>" (suppressed at Quiet). */
 void warn(const char *fmt, ...);
 
-/** Print an informational message to stderr. */
+/** Print an informational message (suppressed at Quiet). */
 void inform(const char *fmt, ...);
+
+/** Print chatty detail (shown only at Verbose). */
+void verbose(const char *fmt, ...);
 
 /**
  * Assert a simulator invariant.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "stats/registry.hh"
 
 namespace morphcache {
 
@@ -689,6 +690,64 @@ CacheLevelModel::resetFootprints()
     for (auto &oracle : oracles_)
         oracle.resetAll();
     sliceFills_.assign(params_.numSlices, 0);
+}
+
+void
+CacheLevelModel::registerStats(StatsRegistry &registry,
+                               const std::string &prefix,
+                               const std::string &busPrefix) const
+{
+    const auto bind = [&](const char *name,
+                          const std::uint64_t &field) {
+        registry.bindCounter(prefix + "." + name,
+                             [&field]() { return field; });
+    };
+    bind("localHits", stats_.localHits);
+    bind("remoteHits", stats_.remoteHits);
+    bind("misses", stats_.misses);
+    bind("fills", stats_.fills);
+    bind("evictions", stats_.evictions);
+    bind("lazyInvalidations", stats_.lazyInvalidations);
+    bind("coherenceInvalidations", stats_.coherenceInvalidations);
+    bind("inclusionInvalidations", stats_.inclusionInvalidations);
+    bind("sliceProbes", stats_.sliceProbes);
+    bind("busEvents", stats_.busEvents);
+    bind("busSpanTiles", stats_.busSpanTiles);
+
+    for (std::uint32_t s = 0; s < params_.numSlices; ++s) {
+        const std::string slice =
+            prefix + ".slice" + std::to_string(s) + ".";
+        registry.bindCounter(slice + "fills",
+                             [this, s]() { return sliceFills_[s]; },
+                             "fills since the last footprint reset");
+        registry.bindCounter(
+            slice + "validLines",
+            [this, s]() { return slices_[s].validLineCount(); },
+            "occupied lines in the physical slice");
+        registry.bindScalar(
+            slice + "acfPopcount",
+            [this, s]() {
+                return static_cast<double>(sliceAcfPopcount(
+                    static_cast<SliceId>(s)));
+            },
+            "set bits in the OR of all cores' ACFVs for this slice");
+    }
+
+    registry.bindCounter(busPrefix + ".transactions",
+                         [this]() { return bus_.numTransactions(); });
+    registry.bindCounter(busPrefix + ".queueCycles",
+                         [this]() { return bus_.queueingCycles(); },
+                         "CPU cycles spent queueing for a segment");
+    for (std::uint32_t s = 0; s < params_.numSlices; ++s) {
+        const std::string seg =
+            busPrefix + ".seg" + std::to_string(s) + ".";
+        registry.bindCounter(seg + "transactions", [this, s]() {
+            return bus_.transactionsForSegment(s);
+        });
+        registry.bindCounter(seg + "queueCycles", [this, s]() {
+            return bus_.queueingCyclesForSegment(s);
+        });
+    }
 }
 
 } // namespace morphcache

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "acf/acfv.hh"
@@ -24,6 +25,8 @@
 #include "mem/slice.hh"
 
 namespace morphcache {
+
+class StatsRegistry;
 
 /** Configuration of one cache level. */
 struct LevelParams
@@ -308,6 +311,19 @@ class CacheLevelModel
     /** Mutable statistics. */
     LevelStats &stats() { return stats_; }
     const LevelStats &stats() const { return stats_; }
+
+    /**
+     * Register this level's tallies onto a stats registry:
+     * `<prefix>.<counter>` for the LevelStats fields,
+     * `<prefix>.sliceK.{fills,validLines,acfPopcount}` per slice,
+     * and `<busPrefix>.{transactions,queueCycles}` plus
+     * `<busPrefix>.segK.{transactions,queueCycles}` for the
+     * segmented bus. Bound by reference: the level must outlive
+     * the registry's sampling.
+     */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix,
+                       const std::string &busPrefix) const;
 
     /** Bus (for contention statistics). */
     const SegmentedBus &bus() const { return bus_; }

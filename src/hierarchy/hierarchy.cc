@@ -4,6 +4,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "stats/registry.hh"
 
 namespace morphcache {
 
@@ -404,6 +405,33 @@ Hierarchy::l1(CoreId core)
 {
     MC_ASSERT(core < params_.numCores);
     return l1s_[core];
+}
+
+void
+Hierarchy::registerStats(StatsRegistry &registry) const
+{
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        const std::string core =
+            "sim.core" + std::to_string(c) + ".";
+        const CoreStats &stats = coreStats_[c];
+        const auto bind = [&](const char *name,
+                              const std::uint64_t &field) {
+            registry.bindCounter(core + name,
+                                 [&field]() { return field; });
+        };
+        bind("accesses", stats.accesses);
+        bind("l1Hits", stats.l1Hits);
+        bind("l2LocalHits", stats.l2LocalHits);
+        bind("l2RemoteHits", stats.l2RemoteHits);
+        bind("l3LocalHits", stats.l3LocalHits);
+        bind("l3RemoteHits", stats.l3RemoteHits);
+        bind("otherGroupTransfers", stats.otherGroupTransfers);
+        bind("memAccesses", stats.memAccesses);
+        bind("writebacks", stats.writebacks);
+        bind("stallCycles", stats.totalLatency);
+    }
+    l2_.registerStats(registry, "hier.l2", "bus.l2");
+    l3_.registerStats(registry, "hier.l3", "bus.l3");
 }
 
 } // namespace morphcache

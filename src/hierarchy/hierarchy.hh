@@ -152,6 +152,16 @@ class Hierarchy
     /** Per-core counters. */
     const CoreStats &coreStats(CoreId core) const;
 
+    /**
+     * Register the whole hierarchy onto a stats registry:
+     * `sim.coreN.*` for the per-core counters, `hier.l2.*` /
+     * `hier.l3.*` for the level tallies (incl. per-slice fills,
+     * occupancy, and ACF popcounts), and `bus.l2.*` / `bus.l3.*`
+     * for the segmented buses. The hierarchy must outlive the
+     * registry's sampling.
+     */
+    void registerStats(StatsRegistry &registry) const;
+
     /** Reset per-core counters (epoch bookkeeping). */
     void resetCoreStats();
 

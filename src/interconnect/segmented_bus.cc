@@ -14,6 +14,8 @@ SegmentedBus::SegmentedBus(std::uint32_t num_slices,
     for (std::uint32_t i = 0; i < num_slices; ++i)
         groupOf_[i] = i; // all-private default
     segSize_.assign(num_slices, 1);
+    segQueueCycles_.assign(num_slices, 0);
+    segTxns_.assign(num_slices, 0);
 }
 
 void
@@ -64,7 +66,23 @@ SegmentedBus::queueAndOccupy(SliceId slice, Cycle now)
     busyUntil_[seg] = now + wait + fault + occupancy;
     ++numTxns_;
     queueCycles_ += wait;
+    ++segTxns_[seg];
+    segQueueCycles_[seg] += wait;
     return wait + fault;
+}
+
+std::uint64_t
+SegmentedBus::queueingCyclesForSegment(std::uint32_t seg) const
+{
+    MC_ASSERT(seg < segQueueCycles_.size());
+    return segQueueCycles_[seg];
+}
+
+std::uint64_t
+SegmentedBus::transactionsForSegment(std::uint32_t seg) const
+{
+    MC_ASSERT(seg < segTxns_.size());
+    return segTxns_[seg];
 }
 
 Cycle

@@ -163,6 +163,17 @@ class SegmentedBus
     /** Total CPU cycles spent queueing (contention). */
     std::uint64_t queueingCycles() const { return queueCycles_; }
 
+    /**
+     * Queueing cycles accumulated on segment `seg` (dense index in
+     * [0, num_slices); segment k is the one whose lowest member is
+     * slice k, so counts survive reconfiguration as "contention at
+     * the segment anchored at slice k").
+     */
+    std::uint64_t queueingCyclesForSegment(std::uint32_t seg) const;
+
+    /** Transactions carried by segment `seg`. */
+    std::uint64_t transactionsForSegment(std::uint32_t seg) const;
+
     /** Timing parameters. */
     const BusParams &params() const { return params_; }
 
@@ -184,6 +195,9 @@ class SegmentedBus
     std::vector<std::uint32_t> segSize_;
     std::uint64_t numTxns_ = 0;
     std::uint64_t queueCycles_ = 0;
+    /** Per-segment breakdowns, indexed by dense segment id. */
+    std::vector<std::uint64_t> segQueueCycles_;
+    std::vector<std::uint64_t> segTxns_;
     /** Optional injected grant faults (src/check); not owned. */
     BusFaultHook *faultHook_ = nullptr;
 };

@@ -5,7 +5,10 @@
 #include "common/bitops.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "stats/profiler.hh"
+#include "stats/registry.hh"
 #include "stats/report.hh"
+#include "stats/tracing.hh"
 
 namespace morphcache {
 
@@ -37,84 +40,184 @@ MorphController::attachFaultInjector(FaultInjector *injector)
     attachedFaults_ = injector;
 }
 
-bool
-MorphController::mergeDesirable(const CacheLevelModel &level,
-                                const MsatConfig &msat,
-                                const std::vector<SliceId> &a,
-                                const std::vector<SliceId> &b) const
+MorphController::MergeEval
+MorphController::evaluateMerge(const CacheLevelModel &level,
+                               const MsatConfig &msat,
+                               const std::vector<SliceId> &a,
+                               const std::vector<SliceId> &b) const
 {
-    const bool desirable = [&]() {
-        const double ua = level.utilization(a);
-        const double ub = level.utilization(b);
-        const double h = msat.high;
-        const double l = msat.low;
+    MergeEval eval;
+    eval.utilA = level.utilization(a);
+    eval.utilB = level.utilization(b);
+    const double h = msat.high;
+    const double l = msat.low;
 
-        // Condition (i): capacity sharing — one hot, one cold. The
-        // cold side must also be low-churn: a slice full of streaming
-        // fills reads a tiny *reused* footprint but offers no usable
-        // spare capacity (its fills would evict whatever the hot
-        // partner spills into it).
-        const double pa = level.fillPressure(a);
-        const double pb = level.fillPressure(b);
-        if ((ua > h && ub < l && pb < config_.coldChurnLimit) ||
-            (ub > h && ua < l && pa < config_.coldChurnLimit)) {
-            return true;
-        }
+    // Condition (i): capacity sharing — one hot, one cold. The
+    // cold side must also be low-churn: a slice full of streaming
+    // fills reads a tiny *reused* footprint but offers no usable
+    // spare capacity (its fills would evict whatever the hot
+    // partner spills into it).
+    const double pa = level.fillPressure(a);
+    const double pb = level.fillPressure(b);
+    if ((eval.utilA > h && eval.utilB < l &&
+         pb < config_.coldChurnLimit) ||
+        (eval.utilB > h && eval.utilA < l &&
+         pa < config_.coldChurnLimit)) {
+        eval.desirable = true;
+        eval.condition = 1;
+    }
 
-        // Condition (ii): data sharing — one address space, both
-        // groups actively used, significant footprint overlap. The
-        // paper states this for two *highly* utilized slices; the
-        // replication/transfer savings it reasons from exist at any
-        // non-trivial utilization, and at this model's estimator scale
-        // an above-high gate would disable the sharing path entirely
-        // (DESIGN.md deviation 4), so the gate here is above-low.
-        if (config_.sharedAddressSpace && ua > l && ub > l &&
-            level.overlap(a, b) >= config_.sharingOverlapThreshold) {
-            return true;
+    // Condition (ii): data sharing — one address space, both
+    // groups actively used, significant footprint overlap. The
+    // paper states this for two *highly* utilized slices; the
+    // replication/transfer savings it reasons from exist at any
+    // non-trivial utilization, and at this model's estimator scale
+    // an above-high gate would disable the sharing path entirely
+    // (DESIGN.md deviation 4), so the gate here is above-low.
+    if (!eval.desirable && config_.sharedAddressSpace &&
+        eval.utilA > l && eval.utilB > l) {
+        eval.overlap = level.overlap(a, b);
+        if (eval.overlap >= config_.sharingOverlapThreshold) {
+            eval.desirable = true;
+            eval.condition = 2;
         }
-        return false;
-    }();
+    }
 
     // Injected MSAT corruption: the latched classification inverts.
     if (FaultInjector *faults = faultInjector()) {
-        if (faults->corruptClassification())
-            return !desirable;
+        if (faults->corruptClassification()) {
+            eval.desirable = !eval.desirable;
+            eval.condition = eval.desirable ? 3 : 0;
+        }
     }
-    return desirable;
+    return eval;
 }
 
-bool
-MorphController::splitDesirable(const CacheLevelModel &level,
-                                const MsatConfig &msat,
-                                const std::vector<SliceId> &group) const
+MorphController::SplitEval
+MorphController::evaluateSplit(const CacheLevelModel &level,
+                               const MsatConfig &msat,
+                               const std::vector<SliceId> &group) const
 {
+    SplitEval eval;
     if (group.size() < 2)
-        return false;
-    const bool desirable = [&]() {
-        std::vector<SliceId> first, second;
-        splitGroup(group, first, second);
-        const double u1 = level.utilization(first);
-        const double u2 = level.utilization(second);
-        // Both halves hot: the merge no longer buys capacity sharing;
-        // it only costs merged-access latency and interference — unless
-        // the halves genuinely share data (Section 2.3 / Figure 6).
-        const double split_bar = msat.high * config_.splitHighFactor;
-        if (u1 > split_bar && u2 > split_bar) {
-            if (config_.sharedAddressSpace &&
-                level.overlap(first, second) >=
-                    config_.sharingOverlapThreshold) {
-                return false;
-            }
-            return true;
+        return eval;
+    std::vector<SliceId> first, second;
+    splitGroup(group, first, second);
+    eval.utilFirst = level.utilization(first);
+    eval.utilSecond = level.utilization(second);
+    // Both halves hot: the merge no longer buys capacity sharing;
+    // it only costs merged-access latency and interference — unless
+    // the halves genuinely share data (Section 2.3 / Figure 6).
+    const double split_bar = msat.high * config_.splitHighFactor;
+    if (eval.utilFirst > split_bar && eval.utilSecond > split_bar) {
+        eval.desirable = true;
+        if (config_.sharedAddressSpace) {
+            eval.overlap = level.overlap(first, second);
+            if (eval.overlap >= config_.sharingOverlapThreshold)
+                eval.desirable = false;
         }
-        return false;
-    }();
+    }
 
     if (FaultInjector *faults = faultInjector()) {
-        if (faults->corruptClassification())
-            return !desirable;
+        if (faults->corruptClassification()) {
+            eval.desirable = !eval.desirable;
+            eval.faultInverted = true;
+        }
     }
-    return desirable;
+    return eval;
+}
+
+void
+MorphController::countMergeCondition(const MergeEval &eval)
+{
+    if (eval.condition == 1)
+        ++stats_.mergesCondI;
+    else if (eval.condition == 2)
+        ++stats_.mergesCondII;
+}
+
+namespace {
+
+const char *
+mergeConditionName(int condition)
+{
+    switch (condition) {
+      case 1: return "capacity";
+      case 2: return "sharing";
+      case 3: return "fault";
+      default: return "none";
+    }
+}
+
+} // namespace
+
+void
+MorphController::traceMerge(const char *level, const MergeEval &eval,
+                            const MsatConfig &msat,
+                            const std::vector<SliceId> &a,
+                            const std::vector<SliceId> &b)
+{
+    if (!tracer_ || !tracer_->enabled())
+        return;
+    TraceEvent ev("merge");
+    ev.str("level", level)
+        .str("cond", mergeConditionName(eval.condition))
+        .u64("aFirst", a.front())
+        .u64("aLast", a.back())
+        .u64("bFirst", b.front())
+        .u64("bLast", b.back())
+        .f64("utilA", eval.utilA)
+        .f64("utilB", eval.utilB)
+        .f64("overlap", eval.overlap)
+        .f64("msatHigh", msat.high)
+        .f64("msatLow", msat.low);
+    tracer_->emit(ev);
+}
+
+void
+MorphController::traceSplit(const char *level, const SplitEval &eval,
+                            const MsatConfig &msat,
+                            const std::vector<SliceId> &group,
+                            bool forced)
+{
+    if (!tracer_ || !tracer_->enabled())
+        return;
+    TraceEvent ev("split");
+    ev.str("level", level)
+        .str("cond", forced            ? "forced"
+                     : eval.faultInverted ? "fault"
+                                          : "interference")
+        .u64("first", group.front())
+        .u64("last", group.back())
+        .f64("utilFirst", eval.utilFirst)
+        .f64("utilSecond", eval.utilSecond)
+        .f64("overlap", eval.overlap)
+        .f64("splitBar", msat.high * config_.splitHighFactor);
+    tracer_->emit(ev);
+}
+
+void
+MorphController::traceClassification(const char *level,
+                                     const CacheLevelModel &model,
+                                     const Partition &partition,
+                                     const MsatConfig &msat)
+{
+    if (!tracer_ || !tracer_->enabled())
+        return;
+    for (const std::vector<SliceId> &group : partition) {
+        const double util = model.utilization(group);
+        TraceEvent ev("classify");
+        ev.str("level", level)
+            .u64("first", group.front())
+            .u64("last", group.back())
+            .f64("util", util)
+            .f64("msatHigh", msat.high)
+            .f64("msatLow", msat.low)
+            .str("class", util > msat.high  ? "high"
+                          : util < msat.low ? "under"
+                                            : "mid");
+        tracer_->emit(ev);
+    }
 }
 
 bool
@@ -212,8 +315,12 @@ MorphController::doL3Merges(const CacheLevelModel &l3,
             for (std::size_t j = i + 1; j < j_end; ++j) {
                 if (!mergeAllowed(st.l3[i], st.l3[j]))
                     continue;
-                if (!mergeDesirable(l3, msatL3Now_, st.l3[i], st.l3[j]))
+                const MergeEval eval =
+                    evaluateMerge(l3, msatL3Now_, st.l3[i], st.l3[j]);
+                if (!eval.desirable)
                     continue;
+                countMergeCondition(eval);
+                traceMerge("l3", eval, msatL3Now_, st.l3[i], st.l3[j]);
                 mergeInto(st.l3, st.l3MergedNow, i, j);
                 ++st.merges;
                 noteEvent(st, true);
@@ -241,7 +348,9 @@ MorphController::doL2Merges(const CacheLevelModel &l2,
             for (std::size_t j = i + 1; j < j_end; ++j) {
                 if (!mergeAllowed(st.l2[i], st.l2[j]))
                     continue;
-                if (!mergeDesirable(l2, msatNow_, st.l2[i], st.l2[j]))
+                const MergeEval eval =
+                    evaluateMerge(l2, msatNow_, st.l2[i], st.l2[j]);
+                if (!eval.desirable)
                     continue;
 
                 // Inclusion (Section 2.2): the merged L2 group must
@@ -263,11 +372,32 @@ MorphController::doL2Merges(const CacheLevelModel &l2,
                         hi != lo + 1) {
                         continue;
                     }
+                    // Structural merge for inclusion, not ACF-driven.
+                    ++stats_.mergesForced;
+                    if (tracer_ && tracer_->enabled()) {
+                        MergeEval forced;
+                        forced.utilA = l3.utilization(st.l3[lo]);
+                        forced.utilB = l3.utilization(st.l3[hi]);
+                        TraceEvent ev("merge");
+                        ev.str("level", "l3")
+                            .str("cond", "forced")
+                            .u64("aFirst", st.l3[lo].front())
+                            .u64("aLast", st.l3[lo].back())
+                            .u64("bFirst", st.l3[hi].front())
+                            .u64("bLast", st.l3[hi].back())
+                            .f64("utilA", forced.utilA)
+                            .f64("utilB", forced.utilB)
+                            .f64("msatHigh", msatL3Now_.high)
+                            .f64("msatLow", msatL3Now_.low);
+                        tracer_->emit(ev);
+                    }
                     mergeInto(st.l3, st.l3MergedNow, lo, hi);
                     ++st.merges;
                     noteEvent(st, true);
                 }
 
+                countMergeCondition(eval);
+                traceMerge("l2", eval, msatNow_, st.l2[i], st.l2[j]);
                 mergeInto(st.l2, st.l2MergedNow, i, j);
                 ++st.merges;
                 noteEvent(st, true);
@@ -292,8 +422,10 @@ MorphController::doL2Splits(const CacheLevelModel &l2,
                 l2_stamp + config_.minEpochsBeforeSplit) {
             continue;
         }
-        if (!splitDesirable(l2, msatNow_, st.l2[g]))
+        const SplitEval eval = evaluateSplit(l2, msatNow_, st.l2[g]);
+        if (!eval.desirable)
             continue;
+        traceSplit("l2", eval, msatNow_, st.l2[g], false);
         std::vector<SliceId> first, second;
         splitGroup(st.l2[g], first, second);
         st.l2[g] = std::move(first);
@@ -323,7 +455,9 @@ MorphController::doL3Splits(const CacheLevelModel &l3,
                 l3_stamp + config_.minEpochsBeforeSplit) {
             continue;
         }
-        if (!splitDesirable(l3, msatL3Now_, st.l3[g]))
+        const SplitEval eval =
+            evaluateSplit(l3, msatL3Now_, st.l3[g]);
+        if (!eval.desirable)
             continue;
 
         std::vector<SliceId> first, second;
@@ -346,6 +480,10 @@ MorphController::doL3Splits(const CacheLevelModel &l3,
         Partition new_l2 = st.l2;
         std::vector<char> new_l2_merged = st.l2MergedNow;
         std::uint64_t extra_splits = 0;
+        // Straddling L2 splits applied for inclusion, recorded for
+        // provenance only after the whole proposal proves feasible.
+        std::vector<std::pair<SplitEval, std::vector<SliceId>>>
+            forced_l2;
         bool feasible = true;
         for (std::size_t k = 0; k < new_l2.size() && feasible; ++k) {
             const auto &group = new_l2[k];
@@ -356,10 +494,18 @@ MorphController::doL3Splits(const CacheLevelModel &l3,
             }
             if (in_half(group, first) || in_half(group, second))
                 continue;
-            if (new_l2_merged[k] || !splitDesirable(l2, msatNow_, group)) {
+            if (new_l2_merged[k]) {
                 feasible = false;
                 break;
             }
+            const SplitEval l2_eval =
+                evaluateSplit(l2, msatNow_, group);
+            if (!l2_eval.desirable) {
+                feasible = false;
+                break;
+            }
+            if (tracer_ && tracer_->enabled())
+                forced_l2.emplace_back(l2_eval, group);
             std::vector<SliceId> l2_first, l2_second;
             splitGroup(group, l2_first, l2_second);
             if (!(in_half(l2_first, first) &&
@@ -380,6 +526,11 @@ MorphController::doL3Splits(const CacheLevelModel &l3,
         }
         if (!feasible)
             continue;
+
+        traceSplit("l3", eval, msatL3Now_, st.l3[g], false);
+        for (const auto &[l2_eval, l2_group] : forced_l2)
+            traceSplit("l2", l2_eval, msatNow_, l2_group, true);
+        stats_.splitsForced += extra_splits;
 
         st.l2 = std::move(new_l2);
         st.l2MergedNow = std::move(new_l2_merged);
@@ -496,6 +647,12 @@ MorphController::enterQuarantine(Hierarchy &hierarchy)
     ++robust_.quarantines;
     quarantineLeft_ = std::max<std::uint32_t>(
         1, config_.quarantineCleanEpochs);
+    if (tracer_ && tracer_->enabled()) {
+        TraceEvent ev("quarantine");
+        ev.u64("holdEpochs", quarantineLeft_)
+            .u64("violations", checker_.stats().violations);
+        tracer_->emit(ev);
+    }
     const Topology safe = Topology::allPrivateTopology(numCores_);
     if (!(hierarchy.topology() == safe))
         hierarchy.reconfigure(safe);
@@ -528,8 +685,16 @@ MorphController::quarantineEpoch(Hierarchy &hierarchy)
         clean = !checker_.report("quarantine epoch", violations);
     }
     if (clean) {
-        if (--quarantineLeft_ == 0)
+        if (--quarantineLeft_ == 0) {
             ++robust_.recoveries;
+            if (tracer_ && tracer_->enabled()) {
+                TraceEvent ev("recovery");
+                ev.u64("quarantineEpochs",
+                       robust_.quarantineEpochs)
+                    .u64("recoveries", robust_.recoveries);
+                tracer_->emit(ev);
+            }
+        }
     } else {
         ++robust_.violationEpochs;
         quarantineLeft_ = std::max<std::uint32_t>(
@@ -572,6 +737,9 @@ MorphController::epochBoundary(Hierarchy &hierarchy)
 
     const CacheLevelModel &l2 = hierarchy.l2();
     const CacheLevelModel &l3 = hierarchy.l3();
+
+    traceClassification("l2", l2, st.l2, msatNow_);
+    traceClassification("l3", l3, st.l3, msatL3Now_);
 
     const bool phases_ok = [&]() {
         if (config_.conflict == ConflictPolicy::MergeAggressive) {
@@ -643,16 +811,101 @@ MorphController::epochBoundary(Hierarchy &hierarchy)
         ++stats_.activeEpochs;
         if (checker_.enabled()) {
             const auto before = InvariantChecker::snapshot(hierarchy);
-            hierarchy.reconfigure(topo);
+            {
+                ScopedPhaseTimer timer(ProfPhase::ReconfigApply);
+                hierarchy.reconfigure(topo);
+            }
             const auto violations =
                 checker_.checkConservation(hierarchy, before);
             if (checker_.report("post-reconfiguration", violations))
                 handleViolation(hierarchy, false);
         } else {
+            ScopedPhaseTimer timer(ProfPhase::ReconfigApply);
             hierarchy.reconfigure(topo);
+        }
+        if (tracer_ && tracer_->enabled()) {
+            const Topology &now = hierarchy.topology();
+            TraceEvent ev("topology");
+            ev.u64("l2Groups", now.l2.size())
+                .u64("l3Groups", now.l3.size())
+                .u64("merges", st.merges)
+                .u64("splits", st.splits)
+                .u64("symmetric", now.isSymmetric() ? 1 : 0);
+            tracer_->emit(ev);
         }
     }
     hierarchy.resetFootprints();
+}
+
+void
+MorphController::registerStats(StatsRegistry &registry) const
+{
+    const auto bind = [&registry](const std::string &name,
+                                  const std::uint64_t &field,
+                                  const std::string &desc) {
+        registry.bindCounter(
+            name, [&field]() { return field; }, desc);
+    };
+
+    bind("morph.decisions", stats_.decisions,
+         "epoch decisions taken");
+    bind("morph.merges", stats_.merges, "merges applied");
+    bind("morph.splits", stats_.splits, "splits applied");
+    bind("morph.merges.condI", stats_.mergesCondI,
+         "merges via condition (i) capacity sharing");
+    bind("morph.merges.condII", stats_.mergesCondII,
+         "merges via condition (ii) data sharing");
+    bind("morph.merges.forced", stats_.mergesForced,
+         "L3 merges forced by inclusion");
+    bind("morph.splits.forced", stats_.splitsForced,
+         "L2 splits forced by inclusion");
+    bind("morph.activeEpochs", stats_.activeEpochs,
+         "epochs with at least one change");
+    bind("morph.asymmetricOutcomes", stats_.asymmetricOutcomes,
+         "events yielding asymmetric topologies");
+    registry.bindScalar(
+        "morph.msatHigh", [this]() { return msatNow_.high; },
+        "live L2 MSAT high bound (QoS-throttled)");
+    registry.bindScalar(
+        "morph.msatLow", [this]() { return msatNow_.low; },
+        "live L2 MSAT low bound (QoS-throttled)");
+
+    const CheckStats &cs = checker_.stats();
+    bind("check.checksRun", cs.checksRun, "invariant checks run");
+    bind("check.detections", cs.violations,
+         "invariant violations detected");
+    for (std::size_t k = 0; k < numInvariantKinds; ++k) {
+        bind(std::string("check.") +
+                 invariantKindName(static_cast<InvariantKind>(k)),
+             cs.byKind[k], "violations of this invariant kind");
+    }
+
+    bind("robust.violationEpochs", robust_.violationEpochs,
+         "epoch decisions with a violation");
+    bind("robust.droppedTopologies", robust_.droppedTopologies,
+         "proposals dropped under the Log policy");
+    bind("robust.quarantines", robust_.quarantines,
+         "quarantine entries");
+    bind("robust.quarantineEpochs", robust_.quarantineEpochs,
+         "epoch decisions spent quarantined");
+    bind("robust.recoveries", robust_.recoveries,
+         "completed quarantines");
+
+    if (const FaultInjector *faults = faultInjector()) {
+        const FaultStats &fs = faults->stats();
+        bind("fault.acfvBitFlips", fs.acfvBitFlips,
+             "injected ACFV bit flips");
+        bind("fault.classificationFlips", fs.classificationFlips,
+             "injected classification inversions");
+        bind("fault.illegalTopologies", fs.illegalTopologies,
+             "injected illegal topology corruptions");
+        bind("fault.busDrops", fs.busDrops,
+             "injected bus grant drops");
+        bind("fault.busDelays", fs.busDelays,
+             "injected bus grant delays");
+        bind("fault.busFaultCycles", fs.busFaultCycles,
+             "extra bus cycles from injected faults");
+    }
 }
 
 std::string

@@ -37,6 +37,9 @@
 
 namespace morphcache {
 
+class StatsRegistry;
+class Tracer;
+
 /**
  * Merge/Split Aggressiveness Threshold (Section 2.2).
  *
@@ -170,6 +173,14 @@ struct ReconfigStats
 {
     std::uint64_t merges = 0;
     std::uint64_t splits = 0;
+    /** Merges justified by condition (i): capacity sharing. */
+    std::uint64_t mergesCondI = 0;
+    /** Merges justified by condition (ii): data sharing. */
+    std::uint64_t mergesCondII = 0;
+    /** L3 merges forced structurally by an L2 merge (inclusion). */
+    std::uint64_t mergesForced = 0;
+    /** L2 splits forced structurally by an L3 split (inclusion). */
+    std::uint64_t splitsForced = 0;
     /** Epochs on which at least one change was applied. */
     std::uint64_t activeEpochs = 0;
     /** Epoch decisions taken (all epoch boundaries seen). */
@@ -227,6 +238,27 @@ class MorphController
     /** Configuration. */
     const MorphConfig &config() const { return config_; }
 
+    // --- Observability ------------------------------------------
+
+    /**
+     * Attach a decision-provenance tracer (not owned; nullptr
+     * detaches). When enabled, the controller emits structured
+     * events for every MSAT classification, accepted merge/split
+     * (with the condition and ACF readings that justified it),
+     * topology change, and quarantine transition.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Register controller tallies onto a stats registry:
+     * `morph.*` (reconfiguration activity incl. per-condition merge
+     * counts and the live MSAT), `check.*` (invariant checker),
+     * `robust.*` (degradation), and `fault.*` (injector, when one
+     * is attached). The controller must outlive the registry's
+     * sampling.
+     */
+    void registerStats(StatsRegistry &registry) const;
+
     // --- Robustness subsystem -----------------------------------
 
     /** Invariant checker (counters; policy from the config). */
@@ -271,13 +303,56 @@ class MorphController
         std::uint64_t splits = 0;
     };
 
-    bool mergeDesirable(const CacheLevelModel &level,
-                        const MsatConfig &msat,
-                        const std::vector<SliceId> &a,
-                        const std::vector<SliceId> &b) const;
-    bool splitDesirable(const CacheLevelModel &level,
-                        const MsatConfig &msat,
-                        const std::vector<SliceId> &group) const;
+    /** Why a merge was (un)desirable, with the ACF evidence. */
+    struct MergeEval
+    {
+        bool desirable = false;
+        /**
+         * 0 = none; 1 = condition (i) capacity sharing; 2 =
+         * condition (ii) data sharing; 3 = injected classification
+         * fault inverted the decision.
+         */
+        int condition = 0;
+        double utilA = 0.0;
+        double utilB = 0.0;
+        double overlap = 0.0;
+    };
+
+    /** Split evidence: the two halves' utilizations and overlap. */
+    struct SplitEval
+    {
+        bool desirable = false;
+        bool faultInverted = false;
+        double utilFirst = 0.0;
+        double utilSecond = 0.0;
+        double overlap = 0.0;
+    };
+
+    MergeEval evaluateMerge(const CacheLevelModel &level,
+                            const MsatConfig &msat,
+                            const std::vector<SliceId> &a,
+                            const std::vector<SliceId> &b) const;
+    SplitEval evaluateSplit(const CacheLevelModel &level,
+                            const MsatConfig &msat,
+                            const std::vector<SliceId> &group) const;
+
+    /** Count a merge by its justifying condition. */
+    void countMergeCondition(const MergeEval &eval);
+
+    /** Emit one accepted merge/split provenance event. */
+    void traceMerge(const char *level, const MergeEval &eval,
+                    const MsatConfig &msat,
+                    const std::vector<SliceId> &a,
+                    const std::vector<SliceId> &b);
+    void traceSplit(const char *level, const SplitEval &eval,
+                    const MsatConfig &msat,
+                    const std::vector<SliceId> &group, bool forced);
+
+    /** Emit per-group MSAT classification events for one level. */
+    void traceClassification(const char *level,
+                             const CacheLevelModel &model,
+                             const Partition &partition,
+                             const MsatConfig &msat);
 
     /** Structural check: may groups a and b merge at all? */
     bool mergeAllowed(const std::vector<SliceId> &a,
@@ -351,6 +426,9 @@ class MorphController
     std::unique_ptr<FaultInjector> ownedFaults_;
     /** External injector override (tests); not owned. */
     FaultInjector *attachedFaults_ = nullptr;
+
+    /** Decision-provenance tracer (not owned; null = disabled). */
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace morphcache

@@ -1,5 +1,8 @@
 #include "sim/memory_system.hh"
 
+#include "stats/registry.hh"
+#include "stats/tracing.hh"
+
 namespace morphcache {
 
 namespace {
@@ -64,6 +67,12 @@ StaticTopologySystem::name() const
     return hierarchy_.topology().name();
 }
 
+void
+StaticTopologySystem::registerStats(StatsRegistry &registry)
+{
+    hierarchy_.registerStats(registry);
+}
+
 MorphCacheSystem::MorphCacheSystem(HierarchyParams params,
                                    const MorphConfig &config)
     : hierarchy_(withBusPenalty(std::move(params), true)),
@@ -86,7 +95,45 @@ MorphCacheSystem::access(const MemAccess &access, Cycle now)
 void
 MorphCacheSystem::epochBoundary()
 {
+    traceBusSamples();
     controller_.epochBoundary(hierarchy_);
+}
+
+void
+MorphCacheSystem::registerStats(StatsRegistry &registry)
+{
+    hierarchy_.registerStats(registry);
+    controller_.registerStats(registry);
+}
+
+void
+MorphCacheSystem::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    controller_.setTracer(tracer);
+}
+
+void
+MorphCacheSystem::traceBusSamples()
+{
+    if (!tracer_ || !tracer_->enabled())
+        return;
+    const SegmentedBus &l2_bus = hierarchy_.l2().bus();
+    const SegmentedBus &l3_bus = hierarchy_.l3().bus();
+    const std::uint64_t l2q = l2_bus.queueingCycles();
+    const std::uint64_t l2t = l2_bus.numTransactions();
+    const std::uint64_t l3q = l3_bus.queueingCycles();
+    const std::uint64_t l3t = l3_bus.numTransactions();
+    TraceEvent ev("busSample");
+    ev.u64("l2QueueCycles", l2q - lastL2QueueCycles_)
+        .u64("l2Transactions", l2t - lastL2Txns_)
+        .u64("l3QueueCycles", l3q - lastL3QueueCycles_)
+        .u64("l3Transactions", l3t - lastL3Txns_);
+    tracer_->emit(ev);
+    lastL2QueueCycles_ = l2q;
+    lastL2Txns_ = l2t;
+    lastL3QueueCycles_ = l3q;
+    lastL3Txns_ = l3t;
 }
 
 const CoreStats &

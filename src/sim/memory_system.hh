@@ -17,6 +17,9 @@
 
 namespace morphcache {
 
+class StatsRegistry;
+class Tracer;
+
 /**
  * Anything that can serve memory accesses and adapt at epoch
  * boundaries.
@@ -40,6 +43,18 @@ class MemorySystem
 
     /** Display name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Register this system's tallies onto a stats registry.
+     * Default: nothing registered.
+     */
+    virtual void registerStats(StatsRegistry &registry) { (void)registry; }
+
+    /**
+     * Attach a decision-provenance tracer (not owned; nullptr
+     * detaches). Default: ignored.
+     */
+    virtual void setTracer(Tracer *tracer) { (void)tracer; }
 };
 
 /**
@@ -70,6 +85,7 @@ class StaticTopologySystem : public MemorySystem
     const CoreStats &coreStats(CoreId core) const override;
     std::uint32_t numCores() const override;
     std::string name() const override;
+    void registerStats(StatsRegistry &registry) override;
 
     /** Underlying hierarchy (stats, tests). */
     Hierarchy &hierarchy() { return hierarchy_; }
@@ -99,6 +115,8 @@ class MorphCacheSystem : public MemorySystem
     const CoreStats &coreStats(CoreId core) const override;
     std::uint32_t numCores() const override;
     std::string name() const override { return "MorphCache"; }
+    void registerStats(StatsRegistry &registry) override;
+    void setTracer(Tracer *tracer) override;
 
     /** Underlying hierarchy. */
     Hierarchy &hierarchy() { return hierarchy_; }
@@ -108,8 +126,18 @@ class MorphCacheSystem : public MemorySystem
     const MorphController &controller() const { return controller_; }
 
   private:
+    /** Emit per-level bus-contention sample events for this epoch. */
+    void traceBusSamples();
+
     Hierarchy hierarchy_;
     MorphController controller_;
+    /** Decision-provenance tracer (not owned; null = disabled). */
+    Tracer *tracer_ = nullptr;
+    /** Bus counter values at the previous epoch boundary. */
+    std::uint64_t lastL2QueueCycles_ = 0;
+    std::uint64_t lastL2Txns_ = 0;
+    std::uint64_t lastL3QueueCycles_ = 0;
+    std::uint64_t lastL3Txns_ = 0;
 };
 
 } // namespace morphcache

@@ -5,6 +5,9 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "stats/metrics.hh"
+#include "stats/profiler.hh"
+#include "stats/registry.hh"
+#include "stats/tracing.hh"
 
 namespace morphcache {
 
@@ -35,10 +38,28 @@ Simulation::runEpoch(EpochId epoch)
             system_.coreStats(static_cast<CoreId>(c)).misses();
     }
 
+    if (tracer_)
+        tracer_->setEpoch(epoch);
+
     workload_.beginEpoch(epoch);
-    runEpochAccesses(system_, workload_, params_.core,
-                     params_.refsPerEpochPerCore, cycles_, instrs_);
-    system_.epochBoundary();
+    {
+        ScopedPhaseTimer timer(ProfPhase::RefProcessing);
+        runEpochAccesses(system_, workload_, params_.core,
+                         params_.refsPerEpochPerCore, cycles_,
+                         instrs_);
+    }
+    if (tracer_) {
+        // Simulated time = the furthest core clock; every decision
+        // event this boundary emits carries it.
+        double max_cycles = 0.0;
+        for (double c : cycles_)
+            max_cycles = std::max(max_cycles, c);
+        tracer_->setTime(static_cast<std::uint64_t>(max_cycles));
+    }
+    {
+        ScopedPhaseTimer timer(ProfPhase::EpochDecision);
+        system_.epochBoundary();
+    }
 
     EpochMetrics metrics;
     metrics.ipc.resize(cores);
@@ -52,7 +73,25 @@ Simulation::runEpoch(EpochId epoch)
             misses_start[c];
     }
     metrics.throughput = throughput(metrics.ipc);
+
+    if (tracer_ && tracer_->enabled()) {
+        std::uint64_t total_misses = 0;
+        for (std::uint64_t m : metrics.misses)
+            total_misses += m;
+        TraceEvent ev("epoch");
+        ev.f64("throughput", metrics.throughput)
+            .u64("misses", total_misses)
+            .u64("refsPerCore", params_.refsPerEpochPerCore);
+        tracer_->emit(ev);
+    }
     return metrics;
+}
+
+void
+Simulation::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    system_.setTracer(tracer);
 }
 
 RunResult
@@ -68,8 +107,12 @@ Simulation::run()
     const std::vector<double> instr_start = instrs_;
 
     result.epochs.reserve(params_.epochs);
-    for (std::uint32_t e = 0; e < params_.epochs; ++e)
-        result.epochs.push_back(runEpoch(nextEpoch_++));
+    for (std::uint32_t e = 0; e < params_.epochs; ++e) {
+        const EpochId id = nextEpoch_++;
+        result.epochs.push_back(runEpoch(id));
+        if (registry_)
+            registry_->snapshotEpoch(id);
+    }
 
     result.avgIpc.resize(cores);
     double max_cycles = 0.0;

@@ -17,6 +17,9 @@
 
 namespace morphcache {
 
+class StatsRegistry;
+class Tracer;
+
 /** Metrics of one recorded epoch. */
 struct EpochMetrics
 {
@@ -78,6 +81,21 @@ class Simulation
      */
     EpochMetrics runEpoch(EpochId epoch);
 
+    /**
+     * Attach a tracer (not owned; nullptr detaches). The simulation
+     * stamps the epoch id and simulated time into it, forwards it
+     * to the system, and emits one "epoch" event per epoch with the
+     * throughput and total misses.
+     */
+    void setTracer(Tracer *tracer);
+
+    /**
+     * Attach a stats registry (not owned). The simulation snapshots
+     * it at the end of every *recorded* epoch, so per-epoch CSV
+     * rows line up with RunResult::epochs.
+     */
+    void setRegistry(StatsRegistry *registry) { registry_ = registry; }
+
   private:
     MemorySystem &system_;
     Workload &workload_;
@@ -87,6 +105,10 @@ class Simulation
     /** Per-core retired instructions. */
     std::vector<double> instrs_;
     EpochId nextEpoch_ = 0;
+    /** Decision-provenance tracer (not owned; null = disabled). */
+    Tracer *tracer_ = nullptr;
+    /** Per-epoch snapshot target (not owned; null = disabled). */
+    StatsRegistry *registry_ = nullptr;
 };
 
 /**

@@ -1,0 +1,82 @@
+#include "stats/profiler.hh"
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "stats/registry.hh"
+
+namespace morphcache {
+
+const char *
+profPhaseName(ProfPhase phase)
+{
+    switch (phase) {
+      case ProfPhase::RefProcessing: return "refProcessing";
+      case ProfPhase::EpochDecision: return "epochDecision";
+      case ProfPhase::ReconfigApply: return "reconfigApply";
+      default: panic("bad ProfPhase %d", static_cast<int>(phase));
+    }
+}
+
+Profiler &
+Profiler::global()
+{
+    static Profiler instance;
+    return instance;
+}
+
+void
+Profiler::reset()
+{
+    for (std::size_t i = 0; i < numPhases; ++i) {
+        ns_[i] = 0;
+        calls_[i] = 0;
+    }
+}
+
+void
+Profiler::registerStats(StatsRegistry &registry) const
+{
+    for (std::size_t i = 0; i < numPhases; ++i) {
+        const auto phase = static_cast<ProfPhase>(i);
+        const std::string base =
+            std::string("prof.") + profPhaseName(phase);
+        registry.bindCounter(
+            base + ".ns", [this, i]() { return ns_[i]; },
+            "wall-clock nanoseconds in this phase");
+        registry.bindCounter(
+            base + ".calls", [this, i]() { return calls_[i]; },
+            "timed intervals in this phase");
+    }
+}
+
+std::string
+Profiler::report() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < numPhases; ++i)
+        total += ns_[i];
+    if (total == 0)
+        return "";
+    std::string out = "profile:\n";
+    char buf[160];
+    for (std::size_t i = 0; i < numPhases; ++i) {
+        if (calls_[i] == 0)
+            continue;
+        const double ms = static_cast<double>(ns_[i]) / 1e6;
+        const double avg_us =
+            static_cast<double>(ns_[i]) /
+            (1e3 * static_cast<double>(calls_[i]));
+        std::snprintf(buf, sizeof(buf),
+                      "  %-16s %10.3f ms  %8llu calls  %10.2f "
+                      "us/call\n",
+                      profPhaseName(static_cast<ProfPhase>(i)), ms,
+                      static_cast<unsigned long long>(calls_[i]),
+                      avg_us);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace morphcache

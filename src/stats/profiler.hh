@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Lightweight phase profiler for the simulator's own hot phases.
+ *
+ * Three phases dominate wall-clock time: reference processing (the
+ * per-access loop), the epoch decision (controller classification +
+ * merge/split search), and the reconfiguration apply (partition
+ * rewrite + inclusion walk). A ScopedPhaseTimer around each feeds
+ * accumulated nanoseconds and call counts into the process-wide
+ * Profiler, which reports through the stats registry as
+ * `prof.<phase>.ns` / `prof.<phase>.calls`.
+ *
+ * Disabled by default: the scoped timer's constructor tests one
+ * bool and does nothing else, so leaving the hooks compiled into
+ * the hot phases is free (gated by bench/micro_components).
+ * Profiler times are wall-clock and are intentionally reported only
+ * through the registry, never the event tracer — traces stay
+ * bit-deterministic across same-seed runs.
+ */
+
+#ifndef MORPHCACHE_STATS_PROFILER_HH
+#define MORPHCACHE_STATS_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace morphcache {
+
+class StatsRegistry;
+
+/** Instrumented simulator phases. */
+enum class ProfPhase : std::uint8_t {
+    /** The per-access reference-processing loop (one epoch batch). */
+    RefProcessing,
+    /** One controller epoch decision. */
+    EpochDecision,
+    /** One Hierarchy::reconfigure() application. */
+    ReconfigApply,
+    NumPhases,
+};
+
+/** Name of a phase (registry key component). */
+const char *profPhaseName(ProfPhase phase);
+
+/** Process-wide phase-time accumulator. */
+class Profiler
+{
+  public:
+    /** The global instance every ScopedPhaseTimer feeds. */
+    static Profiler &global();
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /** Fold one timed interval into a phase. */
+    void
+    add(ProfPhase phase, std::uint64_t ns)
+    {
+        const auto i = static_cast<std::size_t>(phase);
+        ns_[i] += ns;
+        ++calls_[i];
+    }
+
+    std::uint64_t
+    ns(ProfPhase phase) const
+    {
+        return ns_[static_cast<std::size_t>(phase)];
+    }
+
+    std::uint64_t
+    calls(ProfPhase phase) const
+    {
+        return calls_[static_cast<std::size_t>(phase)];
+    }
+
+    /** Zero all accumulators (enabled flag unchanged). */
+    void reset();
+
+    /** Register `prof.<phase>.{ns,calls}` onto a registry. */
+    void registerStats(StatsRegistry &registry) const;
+
+    /** Human-readable per-phase table (empty if nothing timed). */
+    std::string report() const;
+
+  private:
+    static constexpr std::size_t numPhases =
+        static_cast<std::size_t>(ProfPhase::NumPhases);
+
+    bool enabled_ = false;
+    std::uint64_t ns_[numPhases] = {};
+    std::uint64_t calls_[numPhases] = {};
+};
+
+/**
+ * RAII timer for one phase interval. When the global profiler is
+ * disabled the constructor is a single branch and the destructor a
+ * dead test — cheap enough to sit inside per-epoch code paths
+ * unconditionally.
+ */
+class ScopedPhaseTimer
+{
+  public:
+    explicit ScopedPhaseTimer(ProfPhase phase)
+        : phase_(phase), active_(Profiler::global().enabled())
+    {
+        if (active_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedPhaseTimer()
+    {
+        if (active_) {
+            const auto end = std::chrono::steady_clock::now();
+            Profiler::global().add(
+                phase_,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(end - start_)
+                        .count()));
+        }
+    }
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+  private:
+    ProfPhase phase_;
+    bool active_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_STATS_PROFILER_HH

@@ -1,0 +1,322 @@
+#include "stats/registry.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+namespace {
+
+/** Compact numeric formatting shared by the JSON and CSV dumps. */
+std::string
+formatValue(double v)
+{
+    char buf[64];
+    // Counters dominate; print integral values without a fraction.
+    if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    }
+    return buf;
+}
+
+/** Minimal JSON string escaping (names are dotted identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeString(const std::string &path, const std::string &body)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::fwrite(body.data(), 1, body.size(), f);
+    if (std::fclose(f) != 0)
+        fatal("error writing '%s'", path.c_str());
+}
+
+} // namespace
+
+void
+StatsRegistry::checkNewName(const std::string &name) const
+{
+    if (name.empty())
+        panic("stat registered with an empty name");
+    if (has(name))
+        panic("duplicate stat name '%s'", name.c_str());
+}
+
+std::uint64_t &
+StatsRegistry::counter(const std::string &name,
+                       const std::string &desc)
+{
+    checkNewName(name);
+    Entry &entry = entries_.emplace_back();
+    entry.name = name;
+    entry.desc = desc;
+    entry.kind = StatKind::Counter;
+    entry.isOwned = true;
+    return entry.owned;
+}
+
+void
+StatsRegistry::bindCounter(const std::string &name,
+                           std::function<std::uint64_t()> sample,
+                           const std::string &desc)
+{
+    checkNewName(name);
+    Entry &entry = entries_.emplace_back();
+    entry.name = name;
+    entry.desc = desc;
+    entry.kind = StatKind::Counter;
+    entry.sample = [fn = std::move(sample)]() {
+        return static_cast<double>(fn());
+    };
+}
+
+void
+StatsRegistry::bindScalar(const std::string &name,
+                          std::function<double()> sample,
+                          const std::string &desc)
+{
+    checkNewName(name);
+    Entry &entry = entries_.emplace_back();
+    entry.name = name;
+    entry.desc = desc;
+    entry.kind = StatKind::Scalar;
+    entry.sample = std::move(sample);
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name, double lo,
+                         double hi, std::size_t buckets,
+                         const std::string &desc)
+{
+    checkNewName(name);
+    histograms_.push_back(
+        HistEntry{name, desc, Histogram(lo, hi, buckets)});
+    return histograms_.back().hist;
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    for (const Entry &entry : entries_) {
+        if (entry.name == name)
+            return true;
+    }
+    for (const HistEntry &entry : histograms_) {
+        if (entry.name == name)
+            return true;
+    }
+    return false;
+}
+
+const StatsRegistry::Entry &
+StatsRegistry::find(const std::string &name) const
+{
+    for (const Entry &entry : entries_) {
+        if (entry.name == name)
+            return entry;
+    }
+    panic("unknown stat '%s'", name.c_str());
+}
+
+double
+StatsRegistry::sampleEntry(const Entry &entry) const
+{
+    if (entry.isOwned)
+        return static_cast<double>(entry.owned);
+    return entry.sample();
+}
+
+double
+StatsRegistry::value(const std::string &name) const
+{
+    return sampleEntry(find(name));
+}
+
+std::vector<std::string>
+StatsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &entry : entries_)
+        out.push_back(entry.name);
+    return out;
+}
+
+void
+StatsRegistry::snapshotEpoch(std::uint64_t epoch)
+{
+    if (!snapshotEpochs_.empty() && epoch <= snapshotEpochs_.back())
+        panic("epoch snapshots must be strictly increasing");
+    std::vector<double> sample;
+    sample.reserve(entries_.size());
+    for (const Entry &entry : entries_)
+        sample.push_back(sampleEntry(entry));
+    snapshotEpochs_.push_back(epoch);
+    snapshots_.push_back(std::move(sample));
+}
+
+std::vector<double>
+StatsRegistry::epochRow(std::size_t i) const
+{
+    if (i >= snapshots_.size())
+        panic("epoch row %zu out of range", i);
+    std::vector<double> row(entries_.size(), 0.0);
+    std::size_t j = 0;
+    for (const Entry &entry : entries_) {
+        const double now = snapshots_[i][j];
+        if (entry.kind == StatKind::Counter && i > 0)
+            row[j] = now - snapshots_[i - 1][j];
+        else
+            row[j] = now;
+        ++j;
+    }
+    return row;
+}
+
+std::uint64_t
+StatsRegistry::epochId(std::size_t i) const
+{
+    if (i >= snapshotEpochs_.size())
+        panic("epoch snapshot %zu out of range", i);
+    return snapshotEpochs_[i];
+}
+
+std::string
+StatsRegistry::jsonString() const
+{
+    std::string out = "{\n  \"meta\": {\"seed\": ";
+    out += formatValue(static_cast<double>(meta_.seed));
+    out += ", \"config\": \"";
+    out += jsonEscape(meta_.configHash);
+    out += "\"},\n  \"stats\": {";
+    bool first = true;
+    for (const Entry &entry : entries_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + jsonEscape(entry.name) + "\": ";
+        out += formatValue(sampleEntry(entry));
+    }
+    out += "\n  },\n  \"epochs\": [";
+    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"epoch\": ";
+        out += formatValue(static_cast<double>(snapshotEpochs_[i]));
+        const std::vector<double> row = epochRow(i);
+        std::size_t j = 0;
+        for (const Entry &entry : entries_) {
+            out += ", \"" + jsonEscape(entry.name) + "\": ";
+            out += formatValue(row[j]);
+            ++j;
+        }
+        out += "}";
+    }
+    out += "\n  ],\n  \"histograms\": {";
+    first = true;
+    for (const HistEntry &entry : histograms_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + jsonEscape(entry.name) +
+               "\": {\"lo\": " +
+               formatValue(entry.hist.bucketLo(0)) + ", \"counts\": [";
+        for (std::size_t b = 0; b < entry.hist.numBuckets(); ++b) {
+            if (b > 0)
+                out += ", ";
+            out += formatValue(
+                static_cast<double>(entry.hist.bucketCount(b)));
+        }
+        out += "]}";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+std::string
+StatsRegistry::csvString() const
+{
+    std::string out = "# seed=" +
+                      formatValue(static_cast<double>(meta_.seed)) +
+                      " config=" +
+                      (meta_.configHash.empty() ? "-"
+                                                : meta_.configHash) +
+                      "\n";
+    out += "epoch";
+    for (const Entry &entry : entries_) {
+        out += ',';
+        out += entry.name;
+    }
+    out += '\n';
+    if (snapshots_.empty()) {
+        out += "final";
+        for (const Entry &entry : entries_) {
+            out += ',';
+            out += formatValue(sampleEntry(entry));
+        }
+        out += '\n';
+        return out;
+    }
+    for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+        out += formatValue(static_cast<double>(snapshotEpochs_[i]));
+        for (double v : epochRow(i)) {
+            out += ',';
+            out += formatValue(v);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+StatsRegistry::writeJson(const std::string &path) const
+{
+    writeString(path, jsonString());
+}
+
+void
+StatsRegistry::writeCsv(const std::string &path) const
+{
+    writeString(path, csvString());
+}
+
+std::string
+configHashHex(const std::string &description)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : description) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace morphcache

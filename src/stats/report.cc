@@ -7,10 +7,33 @@
 
 namespace morphcache {
 
+namespace {
+
 std::string
-csvString(const std::vector<Series> &series)
+metaComment(const CsvMeta *meta)
 {
-    std::string out = "index";
+    if (!meta)
+        return "";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "# seed=%llu config=%s\n",
+                  static_cast<unsigned long long>(meta->seed),
+                  meta->configHash.empty()
+                      ? "-"
+                      : meta->configHash.c_str());
+    return buf;
+}
+
+} // namespace
+
+std::string
+csvString(const std::vector<Series> &series, const CsvMeta *meta)
+{
+    // Zero series: a lone "index" header is a malformed
+    // single-column CSV; emit nothing but the provenance comment.
+    if (series.empty())
+        return metaComment(meta);
+    std::string out = metaComment(meta);
+    out += "index";
     std::size_t rows = 0;
     for (const Series &s : series) {
         out += ',';
@@ -36,12 +59,13 @@ csvString(const std::vector<Series> &series)
 }
 
 void
-writeCsv(const std::string &path, const std::vector<Series> &series)
+writeCsv(const std::string &path, const std::vector<Series> &series,
+         const CsvMeta *meta)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot open '%s' for writing", path.c_str());
-    const std::string body = csvString(series);
+    const std::string body = csvString(series, meta);
     std::fwrite(body.data(), 1, body.size(), f);
     if (std::fclose(f) != 0)
         fatal("error writing '%s'", path.c_str());
@@ -50,21 +74,24 @@ writeCsv(const std::string &path, const std::vector<Series> &series)
 std::string
 summaryLine(const Series &series)
 {
+    char buf[160];
+    // An empty series has no mean/min/max; say so rather than
+    // fabricating zeros a reader could mistake for measurements.
+    if (series.values.empty()) {
+        std::snprintf(buf, sizeof(buf), "%-20s (no samples)",
+                      series.name.c_str());
+        return buf;
+    }
     double sum = 0.0;
-    double lo = 0.0, hi = 0.0;
-    if (!series.values.empty()) {
-        lo = hi = series.values.front();
-        for (double v : series.values) {
-            sum += v;
-            lo = std::min(lo, v);
-            hi = std::max(hi, v);
-        }
+    double lo = series.values.front();
+    double hi = series.values.front();
+    for (double v : series.values) {
+        sum += v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
     }
     const double mean =
-        series.values.empty()
-            ? 0.0
-            : sum / static_cast<double>(series.values.size());
-    char buf[160];
+        sum / static_cast<double>(series.values.size());
     std::snprintf(buf, sizeof(buf),
                   "%-20s mean %9.4f  min %9.4f  max %9.4f",
                   series.name.c_str(), mean, lo, hi);

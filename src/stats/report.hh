@@ -24,19 +24,36 @@ struct Series
 };
 
 /**
- * Write aligned series as CSV: header `index,<name>,...`, one row
- * per index; shorter series pad with empty cells. fatal() on I/O
- * error.
+ * Reproducibility stamp for CSV exports: rendered as a
+ * `# seed=<s> config=<hash>` comment line ahead of the header so a
+ * plotted sweep can always be traced back to the run that produced
+ * it.
+ */
+struct CsvMeta
+{
+    std::uint64_t seed = 0;
+    /** Configuration hash (hex); see configHashHex() in registry. */
+    std::string configHash;
+};
+
+/**
+ * Write aligned series as CSV: optional `# seed=... config=...`
+ * comment, header `index,<name>,...`, one row per index; shorter
+ * series pad with empty cells. With zero series only the comment
+ * (if any) is written. fatal() on I/O error.
  */
 void writeCsv(const std::string &path,
-              const std::vector<Series> &series);
+              const std::vector<Series> &series,
+              const CsvMeta *meta = nullptr);
 
 /** Render the same data as a CSV string (tests, stdout). */
-std::string csvString(const std::vector<Series> &series);
+std::string csvString(const std::vector<Series> &series,
+                      const CsvMeta *meta = nullptr);
 
 /**
  * Minimal summary row formatting: name, mean, min, max — used by
- * the CLI tool's end-of-run report.
+ * the CLI tool's end-of-run report. An empty series renders as
+ * "(no samples)" instead of fabricated zero statistics.
  */
 std::string summaryLine(const Series &series);
 

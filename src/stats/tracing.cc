@@ -1,0 +1,319 @@
+#include "stats/tracing.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+TraceEvent::Field &
+TraceEvent::next(const char *key, FieldKind kind)
+{
+    if (numFields >= maxFields)
+        panic("trace event '%s' exceeds %zu fields", type, maxFields);
+    Field &field = fields[numFields++];
+    field.key = key;
+    field.kind = kind;
+    return field;
+}
+
+void
+Tracer::emit(TraceEvent &ev)
+{
+    if (!sink_)
+        return;
+    ev.epoch = epoch_;
+    ev.ts = time_;
+    ev.seq = seq_++;
+    sink_->event(ev);
+}
+
+namespace {
+
+void
+appendJsonString(std::string &out, const char *s)
+{
+    out += '"';
+    for (; *s; ++s) {
+        const char c = *s;
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+appendF64(std::string &out, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += buf;
+}
+
+void
+appendFields(std::string &out, const TraceEvent &ev)
+{
+    for (std::size_t i = 0; i < ev.numFields; ++i) {
+        const TraceEvent::Field &field = ev.fields[i];
+        out += ", ";
+        appendJsonString(out, field.key);
+        out += ": ";
+        switch (field.kind) {
+          case TraceEvent::FieldKind::U64:
+            appendU64(out, field.u);
+            break;
+          case TraceEvent::FieldKind::F64:
+            appendF64(out, field.f);
+            break;
+          case TraceEvent::FieldKind::Str:
+            appendJsonString(out, field.s ? field.s : "");
+            break;
+        }
+    }
+}
+
+std::FILE *
+openForWrite(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open trace file '%s' for writing",
+              path.c_str());
+    return f;
+}
+
+} // namespace
+
+std::string
+traceEventJson(const TraceEvent &ev)
+{
+    std::string out = "{\"type\": ";
+    appendJsonString(out, ev.type);
+    out += ", \"epoch\": ";
+    appendU64(out, ev.epoch);
+    out += ", \"ts\": ";
+    appendU64(out, ev.ts);
+    out += ", \"seq\": ";
+    appendU64(out, ev.seq);
+    appendFields(out, ev);
+    out += '}';
+    return out;
+}
+
+// --- JSONL sink -------------------------------------------------
+
+JsonlTraceSink::JsonlTraceSink(const std::string &path)
+    : file_(openForWrite(path))
+{
+}
+
+JsonlTraceSink::~JsonlTraceSink()
+{
+    finish();
+}
+
+void
+JsonlTraceSink::event(const TraceEvent &ev)
+{
+    const std::string line = traceEventJson(ev);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+}
+
+void
+JsonlTraceSink::finish()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+// --- Chrome trace-event sink ------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(const std::string &path)
+    : file_(openForWrite(path))
+{
+    std::fputs("[\n", file_);
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    finish();
+}
+
+void
+ChromeTraceSink::event(const TraceEvent &ev)
+{
+    std::string out = first_ ? "" : ",\n";
+    first_ = false;
+    out += "{\"name\": ";
+    appendJsonString(out, ev.type);
+    out += ", \"cat\": \"morphcache\", \"ph\": \"i\", \"s\": \"g\""
+           ", \"pid\": 0, \"tid\": 0, \"ts\": ";
+    appendU64(out, ev.ts);
+    out += ", \"args\": {\"epoch\": ";
+    appendU64(out, ev.epoch);
+    out += ", \"seq\": ";
+    appendU64(out, ev.seq);
+    appendFields(out, ev);
+    out += "}}";
+    std::fwrite(out.data(), 1, out.size(), file_);
+}
+
+void
+ChromeTraceSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (file_) {
+        std::fputs("\n]\n", file_);
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+// --- String sink ------------------------------------------------
+
+void
+StringTraceSink::event(const TraceEvent &ev)
+{
+    text_ += traceEventJson(ev);
+    text_ += '\n';
+    ++numEvents_;
+}
+
+// --- Trace summary ----------------------------------------------
+
+namespace {
+
+/**
+ * Extract the value of a top-level `"key": value` pair from one
+ * JSONL line. Good enough for the fixed serialization above; not a
+ * general JSON parser.
+ */
+bool
+extractField(const std::string &line, const std::string &key,
+             std::string &out)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    auto start = pos + needle.size();
+    if (start >= line.size())
+        return false;
+    if (line[start] == '"') {
+        ++start;
+        const auto end = line.find('"', start);
+        if (end == std::string::npos)
+            return false;
+        out = line.substr(start, end - start);
+        return true;
+    }
+    auto end = start;
+    while (end < line.size() && line[end] != ',' &&
+           line[end] != '}') {
+        ++end;
+    }
+    out = line.substr(start, end - start);
+    return true;
+}
+
+} // namespace
+
+TraceSummary
+summarizeTrace(std::istream &in)
+{
+    TraceSummary summary;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string type, epoch;
+        if (!extractField(line, "type", type) ||
+            !extractField(line, "epoch", epoch)) {
+            continue;
+        }
+        const std::uint64_t e =
+            std::strtoull(epoch.c_str(), nullptr, 10);
+        ++summary.epochs[e][type];
+        ++summary.totalByType[type];
+        ++summary.totalEvents;
+    }
+    return summary;
+}
+
+TraceSummary
+summarizeTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    return summarizeTrace(in);
+}
+
+std::string
+formatTraceSummary(const TraceSummary &summary)
+{
+    std::string out;
+    char buf[128];
+    std::vector<std::string> types;
+    for (const auto &[type, count] : summary.totalByType)
+        types.push_back(type);
+
+    out += "epoch   events";
+    for (const std::string &type : types) {
+        std::snprintf(buf, sizeof(buf), "  %10s", type.c_str());
+        out += buf;
+    }
+    out += '\n';
+    for (const auto &[epoch, byType] : summary.epochs) {
+        std::uint64_t total = 0;
+        for (const auto &[type, count] : byType)
+            total += count;
+        std::snprintf(buf, sizeof(buf), "%5llu  %7llu",
+                      static_cast<unsigned long long>(epoch),
+                      static_cast<unsigned long long>(total));
+        out += buf;
+        for (const std::string &type : types) {
+            const auto it = byType.find(type);
+            const std::uint64_t count =
+                it == byType.end() ? 0 : it->second;
+            std::snprintf(buf, sizeof(buf), "  %10llu",
+                          static_cast<unsigned long long>(count));
+            out += buf;
+        }
+        out += '\n';
+    }
+    std::snprintf(buf, sizeof(buf), "total  %7llu events, %zu epochs\n",
+                  static_cast<unsigned long long>(
+                      summary.totalEvents),
+                  summary.epochs.size());
+    out += buf;
+    return out;
+}
+
+} // namespace morphcache

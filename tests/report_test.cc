@@ -58,8 +58,34 @@ TEST(Report, SummaryLineStats)
 
 TEST(Report, SummaryLineEmpty)
 {
+    // An empty series must say so instead of fabricating zero
+    // statistics (a mean of 0.0000 over no samples is a lie).
     const std::string line = summaryLine({"empty", {}});
-    EXPECT_NE(line.find("0.0000"), std::string::npos);
+    EXPECT_NE(line.find("empty"), std::string::npos);
+    EXPECT_NE(line.find("(no samples)"), std::string::npos);
+    EXPECT_EQ(line.find("nan"), std::string::npos);
+}
+
+TEST(Report, CsvMetaStamp)
+{
+    CsvMeta meta;
+    meta.seed = 42;
+    meta.configHash = "deadbeef";
+    const std::string csv =
+        csvString({{"a", {1.0}}}, &meta);
+    EXPECT_EQ(csv, "# seed=42 config=deadbeef\n"
+                   "index,a\n"
+                   "0,1\n");
+}
+
+TEST(Report, CsvZeroSeries)
+{
+    // No series at all: no header row to fabricate.
+    EXPECT_EQ(csvString({}), "");
+    CsvMeta meta;
+    meta.seed = 7;
+    meta.configHash = "00";
+    EXPECT_EQ(csvString({}, &meta), "# seed=7 config=00\n");
 }
 
 } // namespace

@@ -20,6 +20,18 @@
  *     --csv FILE         dump per-epoch throughput/misses as CSV
  *     --record FILE      record the workload to a trace file and exit
  *
+ * Observability options:
+ *     --trace FILE       decision-provenance event trace
+ *     --trace-format F   jsonl (default) | chrome (about://tracing)
+ *     --trace-summary FILE   summarize a JSONL trace (per-epoch
+ *                            event counts) and exit
+ *     --stats-out FILE   dump the stats registry; .csv extension
+ *                        selects CSV, anything else JSON
+ *     --stats-epochs     print the per-epoch registry CSV to stdout
+ *     --profile          enable phase profiling and report it
+ *     -v / -q            verbose / quiet logging (MC_LOG_LEVEL env
+ *                        sets the default)
+ *
  * Robustness options (morph scheme):
  *     --check off|log|recover|abort   invariant-check policy
  *                                        (default off)
@@ -52,9 +64,13 @@
 #include "check/fault.hh"
 #include "check/invariant.hh"
 #include "common/error.hh"
+#include "common/logging.hh"
 #include "sim/config.hh"
 #include "sim/simulation.hh"
+#include "stats/profiler.hh"
+#include "stats/registry.hh"
 #include "stats/report.hh"
+#include "stats/tracing.hh"
 #include "workload/trace.hh"
 
 using namespace morphcache;
@@ -75,6 +91,36 @@ struct Options
     std::string checkPolicy = "off";
     std::uint32_t quarantine = 4;
     FaultConfig faults;
+    std::string tracePath;
+    std::string traceFormat = "jsonl";
+    std::string traceSummaryPath;
+    std::string statsOutPath;
+    bool statsEpochs = false;
+    bool profile = false;
+};
+
+/**
+ * Captures warn/inform/verbose messages as structured "log" trace
+ * events while still printing them to stderr.
+ */
+class TraceLogSink : public LogSink
+{
+  public:
+    explicit TraceLogSink(Tracer &tracer) : tracer_(tracer) {}
+
+    void
+    message(const char *kind, const char *text) override
+    {
+        logToStderr(kind, text);
+        if (tracer_.enabled()) {
+            TraceEvent ev("log");
+            ev.str("kind", kind).str("text", text);
+            tracer_.emit(ev);
+        }
+    }
+
+  private:
+    Tracer &tracer_;
 };
 
 [[noreturn]] void
@@ -91,7 +137,11 @@ usage(const char *argv0)
                  "          [--inject-acfv N] [--inject-class P] "
                  "[--inject-illegal P]\n"
                  "          [--inject-bus-drop P] "
-                 "[--inject-bus-delay P]\n",
+                 "[--inject-bus-delay P]\n"
+                 "          [--trace FILE] [--trace-format "
+                 "jsonl|chrome] [--trace-summary FILE]\n"
+                 "          [--stats-out FILE] [--stats-epochs] "
+                 "[--profile] [-v] [-q]\n",
                  argv0);
     std::exit(2);
 }
@@ -101,8 +151,21 @@ parseArgs(int argc, char **argv)
 {
     Options opts;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept both `--opt value` and `--opt=value`.
+        std::string eq_value;
+        bool has_eq = false;
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                eq_value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+                has_eq = true;
+            }
+        }
         auto value = [&]() -> std::string {
+            if (has_eq)
+                return eq_value;
             if (i + 1 >= argc)
                 usage(argv[0]);
             return argv[++i];
@@ -151,6 +214,30 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--inject-bus-delay") {
             opts.faults.busDelayChance =
                 std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--trace") {
+            opts.tracePath = value();
+        } else if (arg == "--trace-format") {
+            opts.traceFormat = value();
+            if (opts.traceFormat != "jsonl" &&
+                opts.traceFormat != "chrome") {
+                std::fprintf(stderr,
+                             "bad --trace-format '%s' (expected "
+                             "jsonl or chrome)\n",
+                             opts.traceFormat.c_str());
+                usage(argv[0]);
+            }
+        } else if (arg == "--trace-summary") {
+            opts.traceSummaryPath = value();
+        } else if (arg == "--stats-out") {
+            opts.statsOutPath = value();
+        } else if (arg == "--stats-epochs") {
+            opts.statsEpochs = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "-v" || arg == "--verbose") {
+            setLogLevel(LogLevel::Verbose);
+        } else if (arg == "-q" || arg == "--quiet") {
+            setLogLevel(LogLevel::Quiet);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
@@ -227,11 +314,45 @@ makeSystem(const Options &opts, const HierarchyParams &hier,
     fatal("unknown scheme '%s'", opts.scheme.c_str());
 }
 
+/**
+ * Canonical run-configuration description hashed into the
+ * `config=<hash>` half of the reproducibility stamp. Everything
+ * that changes simulated behaviour belongs here.
+ */
+std::string
+configDescription(const Options &opts)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "workload=%s scheme=%s cores=%u epochs=%u refs=%llu "
+        "paperScale=%d check=%s quarantine=%u injectSeed=%llu "
+        "injectAcfv=%u injectClass=%g injectIllegal=%g "
+        "injectBusDrop=%g injectBusDelay=%g",
+        opts.workload.c_str(), opts.scheme.c_str(), opts.cores,
+        opts.epochs, static_cast<unsigned long long>(opts.refs),
+        opts.paperScale ? 1 : 0, opts.checkPolicy.c_str(),
+        opts.quarantine,
+        static_cast<unsigned long long>(opts.faults.seed),
+        opts.faults.acfvFlipsPerEpoch,
+        opts.faults.classificationFlipChance,
+        opts.faults.illegalTopologyChance, opts.faults.busDropChance,
+        opts.faults.busDelayChance);
+    return buf;
+}
+
 } // namespace
 
 int
 run(const Options &opts)
 {
+    if (!opts.traceSummaryPath.empty()) {
+        const TraceSummary summary =
+            summarizeTraceFile(opts.traceSummaryPath);
+        std::printf("%s", formatTraceSummary(summary).c_str());
+        return 0;
+    }
+
     HierarchyParams hier = opts.paperScale
                                ? paperScaleHierarchy(opts.cores)
                                : fastScaleHierarchy(opts.cores);
@@ -259,11 +380,50 @@ run(const Options &opts)
     std::unique_ptr<MemorySystem> system =
         makeSystem(opts, hier, shared_space, &morph);
 
+    const std::string config_hash =
+        configHashHex(configDescription(opts));
+
+    StatsRegistry registry;
+    StatsMeta meta;
+    meta.seed = opts.seed;
+    meta.configHash = config_hash;
+    registry.setMeta(meta);
+    system->registerStats(registry);
+
+    if (opts.profile) {
+        Profiler::global().setEnabled(true);
+        Profiler::global().reset();
+    }
+    Profiler::global().registerStats(registry);
+
+    std::unique_ptr<TraceSink> sink;
+    if (!opts.tracePath.empty()) {
+        if (opts.traceFormat == "chrome")
+            sink = std::make_unique<ChromeTraceSink>(opts.tracePath);
+        else
+            sink = std::make_unique<JsonlTraceSink>(opts.tracePath);
+    }
+    Tracer tracer(sink.get());
+    TraceLogSink log_sink(tracer);
+    if (sink)
+        setLogSink(&log_sink);
+
     SimParams sim;
     sim.epochs = opts.epochs;
     sim.refsPerEpochPerCore = opts.refs;
     Simulation simulation(*system, *workload, sim);
+    simulation.setRegistry(&registry);
+    if (sink)
+        simulation.setTracer(&tracer);
     const RunResult result = simulation.run();
+
+    if (sink) {
+        setLogSink(nullptr);
+        sink->finish();
+        verbose("trace: %llu events written to %s",
+                static_cast<unsigned long long>(tracer.eventCount()),
+                opts.tracePath.c_str());
+    }
 
     std::printf("workload   : %s (%u cores)\n",
                 opts.workload.c_str(), workload->numCores());
@@ -298,10 +458,33 @@ run(const Options &opts)
     }
     std::printf("%s\n", summaryLine(tput).c_str());
     if (!opts.csvPath.empty()) {
-        writeCsv(opts.csvPath, {tput, misses});
+        CsvMeta csv_meta;
+        csv_meta.seed = opts.seed;
+        csv_meta.configHash = config_hash;
+        writeCsv(opts.csvPath, {tput, misses}, &csv_meta);
         std::printf("per-epoch series written to %s\n",
                     opts.csvPath.c_str());
     }
+
+    if (opts.profile) {
+        const std::string prof = Profiler::global().report();
+        if (!prof.empty())
+            std::printf("%s", prof.c_str());
+    }
+    if (!opts.statsOutPath.empty()) {
+        const bool csv =
+            opts.statsOutPath.size() >= 4 &&
+            opts.statsOutPath.compare(opts.statsOutPath.size() - 4,
+                                      4, ".csv") == 0;
+        if (csv)
+            registry.writeCsv(opts.statsOutPath);
+        else
+            registry.writeJson(opts.statsOutPath);
+        std::printf("stats registry written to %s\n",
+                    opts.statsOutPath.c_str());
+    }
+    if (opts.statsEpochs)
+        std::printf("%s", registry.csvString().c_str());
     return 0;
 }
 
