@@ -11,6 +11,8 @@
  *   MC_EPOCHS=N       recorded epochs per run (default 12)
  *   MC_REFS=N         references per core per epoch (default 24000)
  *   MC_SEED=N         base RNG seed (default 42)
+ *   MC_JOBS=N         worker threads for the per-mix sweep loops
+ *                     (default: all hardware threads; 1 = serial)
  */
 
 #ifndef MORPHCACHE_BENCH_COMMON_HH
@@ -25,6 +27,7 @@
 #include "baselines/dsr.hh"
 #include "baselines/ideal_offline.hh"
 #include "baselines/pipp.hh"
+#include "runner/sweep.hh"
 #include "sim/config.hh"
 #include "sim/simulation.hh"
 #include "workload/generator.hh"
@@ -54,6 +57,38 @@ inline std::uint64_t
 baseSeed()
 {
     return envOr("MC_SEED", 42);
+}
+
+/** Bench worker-thread count (0 = all hardware threads). */
+inline unsigned
+benchJobs()
+{
+    return static_cast<unsigned>(envOr("MC_JOBS", 0));
+}
+
+/**
+ * Fan `fn(i)` for i in [0, n) across MC_JOBS workers and return the
+ * results in index order. Each call is one independent simulation
+ * cell (own workload, hierarchy, stats), so the printed figures are
+ * byte-identical to the serial loop this replaces.
+ */
+template <typename Fn>
+auto
+parallelRows(std::size_t n, Fn fn)
+{
+    SweepRunner runner(benchJobs());
+    return runner.map(n, fn);
+}
+
+/** Per-mix dispatch: runs `fn(m)` for mixes m in [1, num_mixes]. */
+template <typename Fn>
+auto
+forEachMix(int num_mixes, Fn fn)
+{
+    return parallelRows(static_cast<std::size_t>(num_mixes),
+                        [&fn](std::size_t i) {
+                            return fn(static_cast<int>(i) + 1);
+                        });
 }
 
 /** The five static topologies the paper evaluates, baseline first. */

@@ -27,26 +27,31 @@ main()
                 "mix\n");
     printMixHeader();
 
-    std::vector<std::vector<double>> static_norm(topologies.size());
-    std::vector<double> morph_norm;
-    std::vector<double> baseline(12, 0.0);
-
-    for (int m = 1; m <= 12; ++m) {
+    // One parallel cell per mix: the five static topologies plus
+    // MorphCache, normalized to this mix's (16:1:1) baseline.
+    const auto rows = forEachMix(12, [&](int m) {
         char name[16];
         std::snprintf(name, sizeof(name), "MIX %02d", m);
         const MixSpec &mix = mixByName(name);
-        for (std::size_t t = 0; t < topologies.size(); ++t) {
-            const RunResult run = runStaticMix(
-                mix, topologies[t], hier, gen, sim, baseSeed() + m);
-            if (t == 0)
-                baseline[m - 1] = run.avgThroughput;
-            static_norm[t].push_back(run.avgThroughput /
-                                     baseline[m - 1]);
+        std::vector<double> tput;
+        for (const Topology &topo : topologies) {
+            tput.push_back(runStaticMix(mix, topo, hier, gen, sim,
+                                        baseSeed() + m)
+                               .avgThroughput);
         }
-        const RunResult run = runMorphMix(mix, hier, gen, sim,
-                                          baseSeed() + m,
-                                          MorphConfig{});
-        morph_norm.push_back(run.avgThroughput / baseline[m - 1]);
+        tput.push_back(runMorphMix(mix, hier, gen, sim,
+                                   baseSeed() + m, MorphConfig{})
+                           .avgThroughput);
+        return tput;
+    });
+
+    std::vector<std::vector<double>> static_norm(topologies.size());
+    std::vector<double> morph_norm;
+    for (const std::vector<double> &row : rows) {
+        const double baseline = row[0];
+        for (std::size_t t = 0; t < topologies.size(); ++t)
+            static_norm[t].push_back(row[t] / baseline);
+        morph_norm.push_back(row[topologies.size()] / baseline);
     }
 
     for (std::size_t t = 0; t < topologies.size(); ++t)

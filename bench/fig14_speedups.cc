@@ -35,8 +35,11 @@ main()
     std::printf("%-8s %12s %12s %12s %12s\n", "mix", "WS(2:2:4)",
                 "WS(morph)", "FS(4:4:1)", "FS(morph)");
 
-    double ws_s = 0, ws_m = 0, fs_s = 0, fs_m = 0;
-    for (int m = 1; m <= 12; ++m) {
+    struct Row
+    {
+        double ws1, ws2, fs1, fs2;
+    };
+    const auto rows = forEachMix(12, [&](int m) {
         char name[16];
         std::snprintf(name, sizeof(name), "MIX %02d", m);
         const MixSpec &mix = mixByName(name);
@@ -50,18 +53,21 @@ main()
         const RunResult morph = runMorphMix(
             mix, hier, gen, sim, baseSeed() + m, MorphConfig{});
 
-        const double ws1 =
-            weightedSpeedup(ws_run.avgIpc, base.avgIpc);
-        const double ws2 =
-            weightedSpeedup(morph.avgIpc, base.avgIpc);
-        const double fs1 = fairSpeedup(fs_run.avgIpc, base.avgIpc);
-        const double fs2 = fairSpeedup(morph.avgIpc, base.avgIpc);
-        std::printf("%-8s %12.3f %12.3f %12.3f %12.3f\n", name, ws1,
-                    ws2, fs1, fs2);
-        ws_s += ws1;
-        ws_m += ws2;
-        fs_s += fs1;
-        fs_m += fs2;
+        return Row{weightedSpeedup(ws_run.avgIpc, base.avgIpc),
+                   weightedSpeedup(morph.avgIpc, base.avgIpc),
+                   fairSpeedup(fs_run.avgIpc, base.avgIpc),
+                   fairSpeedup(morph.avgIpc, base.avgIpc)};
+    });
+
+    double ws_s = 0, ws_m = 0, fs_s = 0, fs_m = 0;
+    for (int m = 1; m <= 12; ++m) {
+        const Row &row = rows[m - 1];
+        std::printf("MIX %02d   %12.3f %12.3f %12.3f %12.3f\n", m,
+                    row.ws1, row.ws2, row.fs1, row.fs2);
+        ws_s += row.ws1;
+        ws_m += row.ws2;
+        fs_s += row.fs1;
+        fs_m += row.fs2;
     }
     std::printf("%-8s %12.3f %12.3f %12.3f %12.3f\n", "AVG",
                 ws_s / 12, ws_m / 12, fs_s / 12, fs_m / 12);

@@ -27,8 +27,11 @@ main()
     std::printf("%-8s %10s %10s %10s  %s\n", "mix", "baseline",
                 "ideal", "morph", "morph/ideal");
 
-    double ratio_sum = 0.0;
-    for (int m = 1; m <= 12; ++m) {
+    struct Row
+    {
+        double idealNorm, morphNorm, ratio;
+    };
+    const auto rows = forEachMix(12, [&](int m) {
         char name[16];
         std::snprintf(name, sizeof(name), "MIX %02d", m);
         const MixSpec &mix = mixByName(name);
@@ -43,15 +46,19 @@ main()
         const RunResult morph = runMorphMix(
             mix, hier, gen, sim, baseSeed() + m, MorphConfig{});
 
-        const double ideal_norm =
-            ideal.run.avgThroughput / base.avgThroughput;
-        const double morph_norm =
-            morph.avgThroughput / base.avgThroughput;
-        const double ratio = morph.avgThroughput /
-                             ideal.run.avgThroughput;
-        ratio_sum += ratio;
+        return Row{ideal.run.avgThroughput / base.avgThroughput,
+                   morph.avgThroughput / base.avgThroughput,
+                   morph.avgThroughput / ideal.run.avgThroughput};
+    });
+
+    double ratio_sum = 0.0;
+    for (int m = 1; m <= 12; ++m) {
+        const Row &row = rows[m - 1];
+        ratio_sum += row.ratio;
+        char name[16];
+        std::snprintf(name, sizeof(name), "MIX %02d", m);
         std::printf("%-8s %10.3f %10.3f %10.3f  %10.3f\n", name, 1.0,
-                    ideal_norm, morph_norm, ratio);
+                    row.idealNorm, row.morphNorm, row.ratio);
     }
     std::printf("%-8s %32s  %10.3f\n", "AVG", "", ratio_sum / 12);
     std::printf("\npaper: MorphCache reaches ~0.97 of the ideal "

@@ -32,11 +32,14 @@ main()
         std::printf(" %9s", topo.name().c_str());
     std::printf(" %9s\n", "morph");
 
-    std::vector<double> sums(topologies.size() + 1, 0.0);
-    for (const auto &profile : parsecProfiles()) {
-        std::printf("%-14s", profile.name);
+    // One parallel cell per PARSEC application: every topology plus
+    // MorphCache, normalized to the application's first (baseline)
+    // topology run.
+    const auto &profiles = parsecProfiles();
+    const auto rows = parallelRows(profiles.size(), [&](std::size_t p) {
+        const BenchmarkProfile &profile = profiles[p];
+        std::vector<double> norm;
         double base = 0.0;
-        std::size_t col = 0;
         for (const auto &topo : topologies) {
             MultithreadedWorkload workload(profile, 16, gen,
                                            baseSeed());
@@ -45,21 +48,29 @@ main()
             const double perf = simulation.run().performance;
             if (base == 0.0)
                 base = perf;
-            std::printf(" %9.3f", perf / base);
-            sums[col++] += perf / base;
+            norm.push_back(perf / base);
         }
         MultithreadedWorkload workload(profile, 16, gen, baseSeed());
         MorphConfig config;
         config.sharedAddressSpace = true;
         MorphCacheSystem system(hier, config);
         Simulation simulation(system, workload, sim);
-        const double perf = simulation.run().performance;
-        std::printf(" %9.3f\n", perf / base);
-        sums[col] += perf / base;
+        norm.push_back(simulation.run().performance / base);
+        return norm;
+    });
+
+    std::vector<double> sums(topologies.size() + 1, 0.0);
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+        std::printf("%-14s", profiles[p].name);
+        for (std::size_t col = 0; col < rows[p].size(); ++col) {
+            std::printf(" %9.3f", rows[p][col]);
+            sums[col] += rows[p][col];
+        }
+        std::printf("\n");
     }
     std::printf("%-14s", "AVG");
     for (double s : sums)
-        std::printf(" %9.3f", s / parsecProfiles().size());
+        std::printf(" %9.3f", s / profiles.size());
     std::printf("\n\npaper averages: 1.000 / 0.96 / 1.12 / 1.17 / "
                 "1.16 / 1.256\n");
     return 0;

@@ -27,8 +27,11 @@ main()
     std::printf("Figure 17: throughput normalized to (16:1:1)\n");
     printMixHeader();
 
-    std::vector<double> pipp_norm, dsr_norm, ucp_norm, morph_norm;
-    for (int m = 1; m <= 12; ++m) {
+    struct Row
+    {
+        double pipp, dsr, ucp, morph;
+    };
+    const auto rows = forEachMix(12, [&](int m) {
         char name[16];
         std::snprintf(name, sizeof(name), "MIX %02d", m);
         const MixSpec &mix = mixByName(name);
@@ -36,33 +39,40 @@ main()
         const RunResult base = runStaticMix(
             mix, baseline_topo, hier, gen, sim, baseSeed() + m);
 
-        {
+        auto normalized = [&](MemorySystem &system) {
             MixWorkload workload(mix, gen, baseSeed() + m);
-            PippSystem system(hier);
             Simulation simulation(system, workload, sim);
-            pipp_norm.push_back(simulation.run().avgThroughput /
-                                base.avgThroughput);
+            return simulation.run().avgThroughput /
+                   base.avgThroughput;
+        };
+
+        Row row{};
+        {
+            PippSystem system(hier);
+            row.pipp = normalized(system);
         }
         {
-            MixWorkload workload(mix, gen, baseSeed() + m);
             DsrSystem system(hier);
-            Simulation simulation(system, workload, sim);
-            dsr_norm.push_back(simulation.run().avgThroughput /
-                               base.avgThroughput);
+            row.dsr = normalized(system);
         }
         {
             // UCP [20] at both levels: exact way partitioning, the
             // related-work contrast to PIPP's pseudo-partitioning.
-            MixWorkload workload(mix, gen, baseSeed() + m);
             UcpSystem system(hier);
-            Simulation simulation(system, workload, sim);
-            ucp_norm.push_back(simulation.run().avgThroughput /
-                               base.avgThroughput);
+            row.ucp = normalized(system);
         }
         const RunResult morph = runMorphMix(
             mix, hier, gen, sim, baseSeed() + m, MorphConfig{});
-        morph_norm.push_back(morph.avgThroughput /
-                             base.avgThroughput);
+        row.morph = morph.avgThroughput / base.avgThroughput;
+        return row;
+    });
+
+    std::vector<double> pipp_norm, dsr_norm, ucp_norm, morph_norm;
+    for (const Row &row : rows) {
+        pipp_norm.push_back(row.pipp);
+        dsr_norm.push_back(row.dsr);
+        ucp_norm.push_back(row.ucp);
+        morph_norm.push_back(row.morph);
     }
     printSeries("PIPP", pipp_norm);
     printSeries("DSR", dsr_norm);

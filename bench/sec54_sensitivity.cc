@@ -25,27 +25,31 @@ improvement(const HierarchyParams &hier, std::uint32_t cores,
     const GeneratorParams gen = generatorFor(hier);
     const Topology baseline_topo =
         Topology::symmetric(cores, cores, 1, 1);
-    double sum = 0.0;
     const int mixes[] = {4, 5, 8, 9, 11, 12};
-    for (int m : mixes) {
-        char name[16];
-        std::snprintf(name, sizeof(name), "MIX %02d", m);
-        const MixSpec &full = mixByName(name);
-        // For 8-core runs, use the first 8 members of each mix.
-        MixSpec spec = full;
-        spec.benchmarks.resize(cores);
+    const auto gains = parallelRows(
+        std::size(mixes), [&](std::size_t i) {
+            const int m = mixes[i];
+            char name[16];
+            std::snprintf(name, sizeof(name), "MIX %02d", m);
+            const MixSpec &full = mixByName(name);
+            // For 8-core runs, use the first 8 members of each mix.
+            MixSpec spec = full;
+            spec.benchmarks.resize(cores);
 
-        MixWorkload base_wl(spec, gen, baseSeed() + m);
-        StaticTopologySystem base_sys(hier, baseline_topo);
-        Simulation base_sim(base_sys, base_wl, sim);
-        const double base = base_sim.run().avgThroughput;
+            MixWorkload base_wl(spec, gen, baseSeed() + m);
+            StaticTopologySystem base_sys(hier, baseline_topo);
+            Simulation base_sim(base_sys, base_wl, sim);
+            const double base = base_sim.run().avgThroughput;
 
-        MixWorkload morph_wl(spec, gen, baseSeed() + m);
-        MorphCacheSystem morph_sys(hier, MorphConfig{});
-        Simulation morph_sim(morph_sys, morph_wl, sim);
-        const double tput = morph_sim.run().avgThroughput;
-        sum += tput / base - 1.0;
-    }
+            MixWorkload morph_wl(spec, gen, baseSeed() + m);
+            MorphCacheSystem morph_sys(hier, MorphConfig{});
+            Simulation morph_sim(morph_sys, morph_wl, sim);
+            const double tput = morph_sim.run().avgThroughput;
+            return tput / base - 1.0;
+        });
+    double sum = 0.0;
+    for (double gain : gains)
+        sum += gain;
     return 100.0 * sum / std::size(mixes);
 }
 

@@ -1,17 +1,26 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace morphcache {
 
 namespace {
 
-/** -1 = not yet initialized from MC_LOG_LEVEL. */
-int currentLevel = -1;
+/**
+ * -1 = not yet initialized from MC_LOG_LEVEL. Atomic (and message
+ * dispatch mutex-serialized below) because parallel sweep workers
+ * share the process-wide logging state.
+ */
+std::atomic<int> currentLevel{-1};
 
-LogSink *currentSink = nullptr;
+std::atomic<LogSink *> currentSink{nullptr};
+
+/** Serializes sink dispatch so worker messages never interleave. */
+std::mutex dispatchMutex;
 
 LogLevel
 levelFromEnv()
@@ -31,8 +40,9 @@ levelFromEnv()
 void
 dispatch(const char *kind, const char *text)
 {
-    if (currentSink)
-        currentSink->message(kind, text);
+    std::lock_guard<std::mutex> lock(dispatchMutex);
+    if (LogSink *sink = currentSink.load(std::memory_order_acquire))
+        sink->message(kind, text);
     else
         logToStderr(kind, text);
 }
@@ -50,21 +60,28 @@ vreport(const char *kind, const char *fmt, va_list args)
 LogLevel
 logLevel()
 {
-    if (currentLevel < 0)
-        currentLevel = static_cast<int>(levelFromEnv());
-    return static_cast<LogLevel>(currentLevel);
+    int level = currentLevel.load(std::memory_order_relaxed);
+    if (level < 0) {
+        level = static_cast<int>(levelFromEnv());
+        currentLevel.store(level, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(level);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    currentLevel = static_cast<int>(level);
+    currentLevel.store(static_cast<int>(level),
+                       std::memory_order_relaxed);
 }
 
 void
 setLogSink(LogSink *sink)
 {
-    currentSink = sink;
+    // The dispatch lock keeps a swap from racing an in-flight
+    // message to the outgoing sink.
+    std::lock_guard<std::mutex> lock(dispatchMutex);
+    currentSink.store(sink, std::memory_order_release);
 }
 
 void

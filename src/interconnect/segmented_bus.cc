@@ -1,6 +1,7 @@
 #include "interconnect/segmented_bus.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.hh"
 
@@ -24,22 +25,22 @@ SegmentedBus::configure(const std::vector<std::uint32_t> &group_of)
     MC_ASSERT(group_of.size() == groupOf_.size());
     // Normalize ids into [0, num_slices): the first slice of each
     // group becomes its dense segment index.
+    std::unordered_map<std::uint32_t, std::uint32_t> firstOf;
+    firstOf.reserve(group_of.size());
     for (std::uint32_t i = 0; i < group_of.size(); ++i) {
-        std::uint32_t rep = i;
-        for (std::uint32_t j = 0; j < i; ++j) {
-            if (group_of[j] == group_of[i]) {
-                rep = j;
-                break;
-            }
-        }
-        groupOf_[i] = rep;
+        groupOf_[i] = firstOf.emplace(group_of[i], i).first->second;
     }
     // Segment sizes bound the worst-case queueing round.
     segSize_.assign(groupOf_.size(), 0);
     for (std::uint32_t i = 0; i < groupOf_.size(); ++i)
         ++segSize_[groupOf_[i]];
     // Reconfiguration drains in-flight transactions; segments start
-    // idle relative to whatever cycle comes next.
+    // idle relative to whatever cycle comes next. Without this
+    // reset, occupancy accumulated under the *old* representative
+    // mapping would be re-read under the new one and charge phantom
+    // queueing (or hide real contention) on the first post-reconfig
+    // accesses.
+    std::fill(busyUntil_.begin(), busyUntil_.end(), 0);
 }
 
 Cycle

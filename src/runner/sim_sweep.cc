@@ -1,0 +1,89 @@
+#include "runner/sim_sweep.hh"
+
+#include <cstdio>
+
+#include "baselines/dsr.hh"
+#include "baselines/pipp.hh"
+#include "baselines/ucp.hh"
+#include "common/error.hh"
+#include "stats/registry.hh"
+
+namespace morphcache {
+
+std::unique_ptr<MemorySystem>
+makeSchemeSystem(const std::string &scheme,
+                 const HierarchyParams &hier, std::uint32_t cores,
+                 const MorphConfig &morph_config)
+{
+    if (scheme == "morph")
+        return std::make_unique<MorphCacheSystem>(hier, morph_config);
+    if (scheme == "pipp")
+        return std::make_unique<PippSystem>(hier);
+    if (scheme == "dsr")
+        return std::make_unique<DsrSystem>(hier);
+    if (scheme == "ucp")
+        return std::make_unique<UcpSystem>(hier);
+    if (scheme.rfind("static:", 0) == 0) {
+        unsigned x = 0, y = 0, z = 0;
+        if (std::sscanf(scheme.c_str(), "static:%u:%u:%u", &x, &y,
+                        &z) != 3) {
+            throw ConfigError("bad static scheme '" + scheme + "'");
+        }
+        return std::make_unique<StaticTopologySystem>(
+            hier, Topology::symmetric(cores, x, y, z));
+    }
+    throw ConfigError("unknown scheme '" + scheme + "'");
+}
+
+SimCellResult
+runSimCell(const SimCellSpec &spec)
+{
+    MC_ASSERT(spec.workload != nullptr);
+    // Everything simulated is cell-local from here on.
+    const std::unique_ptr<Workload> workload =
+        spec.workload->clone();
+    std::unique_ptr<MemorySystem> system = makeSchemeSystem(
+        spec.scheme, spec.hier, workload->numCores(), spec.morph);
+
+    StatsRegistry registry;
+    StatsMeta meta;
+    meta.seed = spec.seed;
+    meta.configHash = configHashHex(spec.configDesc.empty()
+                                        ? spec.label
+                                        : spec.configDesc);
+    registry.setMeta(meta);
+    system->registerStats(registry);
+
+    Simulation simulation(*system, *workload, spec.sim);
+    if (spec.wantStatsJson)
+        simulation.setRegistry(&registry);
+
+    SimCellResult result;
+    result.label = spec.label;
+    result.seed = spec.seed;
+    result.run = simulation.run();
+    if (const auto *morph =
+            dynamic_cast<const MorphCacheSystem *>(system.get())) {
+        result.reconfig = morph->controller().stats();
+        result.finalTopology =
+            morph->hierarchy().topology().name();
+    } else {
+        result.finalTopology = system->name();
+    }
+    if (spec.wantStatsJson)
+        result.statsJson = registry.jsonString();
+    return result;
+}
+
+std::vector<SweepResult<SimCellResult>>
+runSimSweep(const std::vector<SimCellSpec> &cells, unsigned jobs)
+{
+    SweepRunner runner(jobs);
+    std::vector<std::function<SimCellResult()>> tasks;
+    tasks.reserve(cells.size());
+    for (const SimCellSpec &cell : cells)
+        tasks.push_back([&cell]() { return runSimCell(cell); });
+    return runner.run(std::move(tasks));
+}
+
+} // namespace morphcache

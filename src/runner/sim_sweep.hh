@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Simulation-level sweep cells: one fully-isolated run of one
+ * scheme on one workload under one seed, packaged so the CLI's
+ * --sweep mode, the bench harnesses, and the tests all fan the same
+ * unit of work through the SweepRunner.
+ *
+ * Isolation per cell (the determinism contract of runner/sweep.hh):
+ * the prototype workload is cloned, the memory system / hierarchy
+ * is constructed fresh, and the StatsRegistry is local to the cell,
+ * so cells share no simulated state whatsoever.
+ */
+
+#ifndef MORPHCACHE_RUNNER_SIM_SWEEP_HH
+#define MORPHCACHE_RUNNER_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "morph/controller.hh"
+#include "runner/sweep.hh"
+#include "sim/memory_system.hh"
+#include "sim/simulation.hh"
+#include "workload/generator.hh"
+
+namespace morphcache {
+
+/**
+ * Build a memory system for a scheme name: "morph",
+ * "static:<x>:<y>:<z>", "pipp", "dsr", or "ucp". Throws ConfigError
+ * on an unknown scheme. `morph_config` applies to the morph scheme
+ * only.
+ */
+std::unique_ptr<MemorySystem>
+makeSchemeSystem(const std::string &scheme,
+                 const HierarchyParams &hier, std::uint32_t cores,
+                 const MorphConfig &morph_config);
+
+/** One sweep cell: a scheme run on (a clone of) one workload. */
+struct SimCellSpec
+{
+    /** Human-readable cell label ("mix:8 seed=42 morph"). */
+    std::string label;
+    /** Prototype workload, cloned for the run (not owned). */
+    const Workload *workload = nullptr;
+    /** Scheme name, as accepted by makeSchemeSystem(). */
+    std::string scheme = "morph";
+    HierarchyParams hier;
+    SimParams sim;
+    MorphConfig morph;
+    /** Seed stamped into the registry meta (provenance only). */
+    std::uint64_t seed = 0;
+    /** Config description hashed into the registry meta. */
+    std::string configDesc;
+    /** Also render the cell's stats registry to JSON. */
+    bool wantStatsJson = false;
+};
+
+/** What a cell produces. */
+struct SimCellResult
+{
+    std::string label;
+    std::uint64_t seed = 0;
+    RunResult run;
+    /** Reconfiguration tally (morph scheme; zeros otherwise). */
+    ReconfigStats reconfig;
+    /** Final topology name. */
+    std::string finalTopology;
+    /** Registry JSON (only when spec.wantStatsJson). */
+    std::string statsJson;
+};
+
+/** Run one cell to completion (callable from any worker thread). */
+SimCellResult runSimCell(const SimCellSpec &spec);
+
+/**
+ * Fan a list of cells across `jobs` workers and return the results
+ * in submission order; a failed cell reports its error in-place.
+ */
+std::vector<SweepResult<SimCellResult>>
+runSimSweep(const std::vector<SimCellSpec> &cells, unsigned jobs);
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_RUNNER_SIM_SWEEP_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Deterministic parallel sweep runner.
+ *
+ * A sweep is an ordered list of independent *cells* — one
+ * simulation run each (one config × workload × seed point). The
+ * SweepRunner fans the cells across a fixed-size ThreadPool and
+ * hands the results back in submission order, so the output of a
+ * sweep is byte-identical no matter how many workers ran it.
+ *
+ * The determinism contract, and what makes it hold:
+ *
+ *  - every cell owns its full simulation state: its own Workload
+ *    (cloned from a prototype built on the submitting thread), its
+ *    own memory system / hierarchy, and its own StatsRegistry —
+ *    nothing simulated is shared between cells;
+ *  - cell seeds derive only from (base seed, cell index) via
+ *    sweepCellSeed(), never from thread identity or time;
+ *  - results land in a pre-sized slot per cell (no reordering, no
+ *    reallocation) and are read back only after the pool drains;
+ *  - the remaining process-wide state (the log sinks and the phase
+ *    Profiler) is mutex-guarded / atomic and feeds no simulated
+ *    numbers.
+ *
+ * A throwing cell fails only itself: the exception is captured into
+ * that cell's SweepResult and every other cell still runs.
+ */
+
+#ifndef MORPHCACHE_RUNNER_SWEEP_HH
+#define MORPHCACHE_RUNNER_SWEEP_HH
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "runner/thread_pool.hh"
+
+namespace morphcache {
+
+/**
+ * Seed of sweep cell `index` under base seed `base`: one SplitMix64
+ * step over `base ^ index`. Pure function of its arguments, so a
+ * cell's stream is identical whichever worker runs it — and
+ * well-mixed, so neighbouring cells never see correlated streams
+ * the way raw `base + index` seeding would give them.
+ */
+inline std::uint64_t
+sweepCellSeed(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t state = base ^ index;
+    return splitMix64(state);
+}
+
+/** Outcome of one sweep cell: a value, or the error that ate it. */
+template <typename R>
+struct SweepResult
+{
+    std::optional<R> value;
+    /** Captured cell exception (null when the cell succeeded). */
+    std::exception_ptr exception;
+    /** what() of the captured exception, for reporting. */
+    std::string error;
+
+    bool ok() const { return value.has_value(); }
+
+    /** The value; rethrows the cell's exception on failure. */
+    R &
+    get()
+    {
+        if (!value.has_value())
+            std::rethrow_exception(exception);
+        return *value;
+    }
+};
+
+class SweepRunner
+{
+  public:
+    /** @param jobs Worker threads; 0 = hardware_concurrency. */
+    explicit SweepRunner(unsigned jobs = 0) : pool_(jobs) {}
+
+    unsigned jobs() const { return pool_.numThreads(); }
+
+    /**
+     * Run `cells[i]()` for every i across the pool; result i is
+     * cell i's, regardless of completion order.
+     */
+    template <typename Fn>
+    auto
+    run(std::vector<Fn> cells)
+        -> std::vector<SweepResult<decltype(cells.front()())>>
+    {
+        using R = decltype(cells.front()());
+        std::vector<SweepResult<R>> results(cells.size());
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            Fn &cell = cells[i];
+            SweepResult<R> &slot = results[i];
+            pool_.submit([&cell, &slot]() {
+                try {
+                    slot.value.emplace(cell());
+                } catch (const std::exception &err) {
+                    slot.exception = std::current_exception();
+                    slot.error = err.what();
+                } catch (...) {
+                    slot.exception = std::current_exception();
+                    slot.error = "unknown exception";
+                }
+            });
+        }
+        pool_.wait();
+        return results;
+    }
+
+    /**
+     * Index-driven convenience: run `fn(i)` for i in [0, n) and
+     * return the values in index order, rethrowing the first failed
+     * cell's exception. The per-index shape (rather than iterating
+     * a container) is what the bench per-mix loops dispatch
+     * through.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn fn)
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        using R = decltype(fn(std::size_t{0}));
+        std::vector<std::function<R()>> cells;
+        cells.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            cells.push_back([fn, i]() { return fn(i); });
+        auto results = run(std::move(cells));
+        std::vector<R> values;
+        values.reserve(n);
+        for (auto &result : results)
+            values.push_back(std::move(result.get()));
+        return values;
+    }
+
+  private:
+    ThreadPool pool_;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_RUNNER_SWEEP_HH

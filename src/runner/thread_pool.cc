@@ -1,0 +1,86 @@
+#include "runner/thread_pool.hh"
+
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace morphcache {
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : numThreads_(threads > 0 ? threads : defaultThreads())
+{
+    workers_.reserve(numThreads_);
+    for (unsigned i = 0; i < numThreads_; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        MC_ASSERT(!stopping_);
+        queue_.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock,
+                 [this]() { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [this]() {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ with a drained queue
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        try {
+            task();
+        } catch (const std::exception &err) {
+            warn("thread pool task threw: %s", err.what());
+        } catch (...) {
+            warn("thread pool task threw a non-std exception");
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idleCv_.notify_all();
+        }
+    }
+}
+
+} // namespace morphcache

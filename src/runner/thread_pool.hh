@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for the experiment runner.
+ *
+ * A deliberately small pool: tasks are coarse (one whole simulation
+ * run each, seconds of work), so a mutex-guarded deque is far from
+ * being a bottleneck and buys simplicity and portability. Tasks
+ * must not throw — the SweepRunner layer catches per-cell
+ * exceptions before they reach the pool; anything that still
+ * escapes is logged and swallowed so one bad task can never take
+ * down the workers or deadlock wait().
+ */
+
+#ifndef MORPHCACHE_RUNNER_THREAD_POOL_HH
+#define MORPHCACHE_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace morphcache {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 selects
+     *        std::thread::hardware_concurrency() (minimum 1).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue (waits for every submitted task). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** Actual worker count. */
+    unsigned numThreads() const { return numThreads_; }
+
+    /** The `threads == 0` resolution rule, exposed for CLIs. */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    unsigned numThreads_ = 0;
+
+    std::mutex mutex_;
+    /** Signals workers that work (or shutdown) is available. */
+    std::condition_variable workCv_;
+    /** Signals wait()ers that the pool went idle. */
+    std::condition_variable idleCv_;
+    std::deque<std::function<void()>> queue_;
+    /** Tasks currently executing on a worker. */
+    unsigned active_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_RUNNER_THREAD_POOL_HH

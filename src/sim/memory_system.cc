@@ -15,10 +15,6 @@ withBusPenalty(HierarchyParams params, bool charge)
     return params;
 }
 
-} // namespace
-
-namespace {
-
 HierarchyParams
 staticLatencyModel(HierarchyParams params, bool charge_remote)
 {
@@ -111,6 +107,14 @@ MorphCacheSystem::setTracer(Tracer *tracer)
 {
     tracer_ = tracer;
     controller_.setTracer(tracer);
+    // A tracer attached mid-run must see deltas from this point on,
+    // not the full cumulative bus counters as its first busSample.
+    const SegmentedBus &l2_bus = hierarchy_.l2().bus();
+    const SegmentedBus &l3_bus = hierarchy_.l3().bus();
+    lastL2QueueCycles_ = l2_bus.queueingCycles();
+    lastL2Txns_ = l2_bus.numTransactions();
+    lastL3QueueCycles_ = l3_bus.queueingCycles();
+    lastL3Txns_ = l3_bus.numTransactions();
 }
 
 void

@@ -43,10 +43,16 @@ Profiler::registerStats(StatsRegistry &registry) const
         const std::string base =
             std::string("prof.") + profPhaseName(phase);
         registry.bindCounter(
-            base + ".ns", [this, i]() { return ns_[i]; },
+            base + ".ns",
+            [this, i]() {
+                return ns_[i].load(std::memory_order_relaxed);
+            },
             "wall-clock nanoseconds in this phase");
         registry.bindCounter(
-            base + ".calls", [this, i]() { return calls_[i]; },
+            base + ".calls",
+            [this, i]() {
+                return calls_[i].load(std::memory_order_relaxed);
+            },
             "timed intervals in this phase");
     }
 }

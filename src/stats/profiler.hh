@@ -21,6 +21,7 @@
 #ifndef MORPHCACHE_STATS_PROFILER_HH
 #define MORPHCACHE_STATS_PROFILER_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -50,28 +51,44 @@ class Profiler
     /** The global instance every ScopedPhaseTimer feeds. */
     static Profiler &global();
 
-    bool enabled() const { return enabled_; }
-    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
-    /** Fold one timed interval into a phase. */
+    void
+    setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+
+    /**
+     * Fold one timed interval into a phase. Relaxed atomics: the
+     * counters are monotonic tallies read only at report time, so
+     * parallel sweep workers can feed the shared instance without
+     * tearing (individual adds never order against each other).
+     */
     void
     add(ProfPhase phase, std::uint64_t ns)
     {
         const auto i = static_cast<std::size_t>(phase);
-        ns_[i] += ns;
-        ++calls_[i];
+        ns_[i].fetch_add(ns, std::memory_order_relaxed);
+        calls_[i].fetch_add(1, std::memory_order_relaxed);
     }
 
     std::uint64_t
     ns(ProfPhase phase) const
     {
-        return ns_[static_cast<std::size_t>(phase)];
+        return ns_[static_cast<std::size_t>(phase)].load(
+            std::memory_order_relaxed);
     }
 
     std::uint64_t
     calls(ProfPhase phase) const
     {
-        return calls_[static_cast<std::size_t>(phase)];
+        return calls_[static_cast<std::size_t>(phase)].load(
+            std::memory_order_relaxed);
     }
 
     /** Zero all accumulators (enabled flag unchanged). */
@@ -87,9 +104,9 @@ class Profiler
     static constexpr std::size_t numPhases =
         static_cast<std::size_t>(ProfPhase::NumPhases);
 
-    bool enabled_ = false;
-    std::uint64_t ns_[numPhases] = {};
-    std::uint64_t calls_[numPhases] = {};
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> ns_[numPhases] = {};
+    std::atomic<std::uint64_t> calls_[numPhases] = {};
 };
 
 /**

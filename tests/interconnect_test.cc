@@ -188,6 +188,75 @@ TEST(SegmentedBus, IdleGapClearsQueue)
     EXPECT_EQ(bus.transact(1, 1000), 15u);
 }
 
+TEST(SegmentedBus, ReconfigureClearsOccupancy)
+{
+    // Regression for the stale-occupancy bug: configure() promises
+    // that reconfiguration drains in-flight transactions, so the
+    // first post-reconfig transaction must wait zero cycles even if
+    // the old segment was saturated.
+    SegmentedBus bus(4, BusParams{});
+    bus.configure({0, 0, 0, 0});
+    for (SliceId s = 0; s < 4; ++s)
+        bus.transact(s, 0);
+    EXPECT_GT(bus.queueingCycles(), 0u);
+    const std::uint64_t queued = bus.queueingCycles();
+
+    bus.configure({0, 1, 2, 3});
+    // Uncontended latency, no phantom queueing carried across the
+    // reconfiguration.
+    EXPECT_EQ(bus.transact(0, 0), 15u);
+    EXPECT_EQ(bus.queueingCycles(), queued);
+}
+
+TEST(SegmentedBus, ReconfigureClearsOccupancyUnderRemapping)
+{
+    // Occupancy accumulated under the *old* representative mapping
+    // must not be re-read under the *new* mapping after a
+    // merge/split reshapes which slice fronts each segment.
+    SegmentedBus bus(4, BusParams{});
+    bus.configure({0, 0, 1, 1});
+    for (int r = 0; r < 3; ++r) {
+        bus.transact(0, 0); // saturate segment of slices {0,1}
+        bus.transact(2, 0); // saturate segment of slices {2,3}
+    }
+    bus.configure({0, 0, 0, 0}); // merge everything
+    EXPECT_EQ(bus.transact(3, 0), 15u);
+    bus.configure({0, 1, 1, 1}); // asymmetric split
+    EXPECT_EQ(bus.transact(1, 0), 15u);
+    EXPECT_EQ(bus.transact(0, 0), 15u);
+}
+
+TEST(SegmentedBus, NormalizationUsesFirstOccurrence)
+{
+    // Arbitrary (sparse, unordered) group ids normalize to dense
+    // first-occurrence representatives.
+    SegmentedBus bus(5, BusParams{});
+    bus.configure({7, 7, 3, 3, 9});
+    EXPECT_EQ(bus.groupOf(0), 0u);
+    EXPECT_EQ(bus.groupOf(1), 0u);
+    EXPECT_EQ(bus.groupOf(2), 2u);
+    EXPECT_EQ(bus.groupOf(3), 2u);
+    EXPECT_EQ(bus.groupOf(4), 4u);
+    // Contention within a group, independence across groups.
+    EXPECT_EQ(bus.transact(0, 0), 15u);
+    EXPECT_EQ(bus.transact(1, 0), 20u);
+    EXPECT_EQ(bus.transact(2, 0), 15u);
+    EXPECT_EQ(bus.transact(4, 0), 15u);
+}
+
+TEST(SegmentedBus, NormalizationHandlesInterleavedGroups)
+{
+    SegmentedBus bus(4, BusParams{});
+    bus.configure({5, 8, 5, 8});
+    EXPECT_EQ(bus.groupOf(0), 0u);
+    EXPECT_EQ(bus.groupOf(1), 1u);
+    EXPECT_EQ(bus.groupOf(2), 0u);
+    EXPECT_EQ(bus.groupOf(3), 1u);
+    EXPECT_EQ(bus.transact(0, 0), 15u);
+    EXPECT_EQ(bus.transact(2, 0), 20u); // same segment as slice 0
+    EXPECT_EQ(bus.transact(1, 0), 15u); // other segment unaffected
+}
+
 TEST(DelayModel, Table2AreaFigures)
 {
     const ArbiterDelayModel model;

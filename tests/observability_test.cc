@@ -172,6 +172,39 @@ TEST(Tracing, EveryReconfigurationIsTraced)
     delete system;
 }
 
+TEST(Tracing, MidRunTracerReportsDeltasNotCumulative)
+{
+    // A tracer attached mid-run must baseline the bus counters at
+    // attach time: its first busSample reports what happened since,
+    // not the whole run's cumulative tallies.
+    FourMix workload(42);
+    MorphCacheSystem system(testHier(), MorphConfig{});
+    Simulation simulation(system, workload, testSim());
+    simulation.run();
+
+    // The untraced run must have produced bus traffic, or the test
+    // is vacuous.
+    const std::uint64_t l2_txns =
+        system.hierarchy().l2().bus().numTransactions();
+    ASSERT_GT(l2_txns, 0u);
+
+    StringTraceSink sink;
+    Tracer tracer(&sink);
+    simulation.setTracer(&tracer);
+    // Nothing simulated between attach and this boundary, so the
+    // first busSample's deltas are all zero.
+    system.epochBoundary();
+    const std::string trace = sink.text();
+    const auto pos = trace.find("\"busSample\"");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_NE(trace.find("\"l2QueueCycles\": 0, "
+                         "\"l2Transactions\": 0, "
+                         "\"l3QueueCycles\": 0, "
+                         "\"l3Transactions\": 0",
+                         pos),
+              std::string::npos);
+}
+
 TEST(Tracing, RegistryCountersMatchControllerStats)
 {
     StringTraceSink sink;

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the deterministic parallel experiment runner: the
+ * thread pool, the generic sweep runner (ordering, failure
+ * isolation), seed derivation, and the headline contract — a
+ * -j1 sweep and a -j8 sweep of the same cells produce identical
+ * RunResults and identical stats-JSON bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/sim_sweep.hh"
+#include "runner/sweep.hh"
+#include "runner/thread_pool.hh"
+#include "sim/config.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace morphcache {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count]() { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count]() { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count]() { ++count; });
+    pool.submit([&count]() { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.numThreads(), 1u);
+    EXPECT_EQ(pool.numThreads(), ThreadPool::defaultThreads());
+}
+
+TEST(SweepRunner, MoreCellsThanWorkersKeepSubmissionOrder)
+{
+    SweepRunner runner(3);
+    const auto values = runner.map(64, [](std::size_t i) {
+        // Uneven cell durations shuffle *completion* order; results
+        // must still come back in submission order.
+        if (i % 7 == 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        return i * i;
+    });
+    ASSERT_EQ(values.size(), 64u);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_EQ(values[i], i * i);
+}
+
+TEST(SweepRunner, ThrowingCellFailsOnlyItself)
+{
+    SweepRunner runner(4);
+    std::vector<std::function<int()>> cells;
+    for (int i = 0; i < 16; ++i) {
+        cells.push_back([i]() {
+            if (i == 5)
+                throw std::runtime_error("cell five exploded");
+            return i;
+        });
+    }
+    const auto results = runner.run(std::move(cells));
+    ASSERT_EQ(results.size(), 16u);
+    for (int i = 0; i < 16; ++i) {
+        if (i == 5) {
+            EXPECT_FALSE(results[i].ok());
+            EXPECT_EQ(results[i].error, "cell five exploded");
+        } else {
+            ASSERT_TRUE(results[i].ok());
+            EXPECT_EQ(*results[i].value, i);
+        }
+    }
+}
+
+TEST(SweepRunner, MapRethrowsCellFailure)
+{
+    SweepRunner runner(2);
+    EXPECT_THROW(runner.map(4,
+                            [](std::size_t i) {
+                                if (i == 2)
+                                    throw std::runtime_error("boom");
+                                return i;
+                            }),
+                 std::runtime_error);
+}
+
+TEST(SweepSeed, DeterministicAndWellSpread)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        const std::uint64_t seed = sweepCellSeed(42, i);
+        EXPECT_EQ(seed, sweepCellSeed(42, i));
+        seeds.insert(seed);
+    }
+    // SplitMix64 over base ^ index never collides on a small range.
+    EXPECT_EQ(seeds.size(), 256u);
+    EXPECT_NE(sweepCellSeed(42, 0), sweepCellSeed(43, 0));
+}
+
+/** Small 4-core sweep cells matching the CLI's --sweep layout. */
+struct SweepFixture
+{
+    HierarchyParams hier = fastScaleHierarchy(4);
+    GeneratorParams gen = generatorFor(hier);
+    SimParams sim;
+    std::vector<std::unique_ptr<Workload>> prototypes;
+    std::vector<SimCellSpec> cells;
+
+    explicit SweepFixture(const std::string &scheme = "morph",
+                          bool stats_json = true)
+    {
+        sim.epochs = 3;
+        sim.warmupEpochs = 1;
+        sim.refsPerEpochPerCore = 1500;
+        for (std::uint64_t index = 0; index < 4; ++index) {
+            const std::uint64_t seed = sweepCellSeed(42, index);
+            char name[16];
+            std::snprintf(name, sizeof(name), "MIX %02d",
+                          static_cast<int>(index) + 1);
+            MixSpec mix = mixByName(name);
+            mix.benchmarks.resize(4);
+            prototypes.push_back(
+                std::make_unique<MixWorkload>(mix, gen, seed));
+
+            SimCellSpec spec;
+            spec.label = std::string(name) + " " + scheme;
+            spec.workload = prototypes.back().get();
+            spec.scheme = scheme;
+            spec.hier = hier;
+            spec.sim = sim;
+            spec.seed = seed;
+            spec.configDesc = spec.label;
+            spec.wantStatsJson = stats_json;
+            cells.push_back(std::move(spec));
+        }
+    }
+};
+
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.avgThroughput, b.avgThroughput);
+    EXPECT_EQ(a.performance, b.performance);
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+        EXPECT_EQ(a.epochs[e].ipc, b.epochs[e].ipc);
+        EXPECT_EQ(a.epochs[e].misses, b.epochs[e].misses);
+    }
+    EXPECT_EQ(a.avgIpc, b.avgIpc);
+}
+
+TEST(SimSweep, SerialAndParallelRunsAreIdentical)
+{
+    SweepFixture fixture;
+    const auto serial = runSimSweep(fixture.cells, 1);
+    const auto parallel = runSimSweep(fixture.cells, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok());
+        ASSERT_TRUE(parallel[i].ok());
+        const SimCellResult &a = *serial[i].value;
+        const SimCellResult &b = *parallel[i].value;
+        expectSameRun(a.run, b.run);
+        EXPECT_EQ(a.finalTopology, b.finalTopology);
+        EXPECT_EQ(a.reconfig.merges, b.reconfig.merges);
+        EXPECT_EQ(a.reconfig.splits, b.reconfig.splits);
+        // The whole per-cell stats registry, byte for byte.
+        EXPECT_FALSE(a.statsJson.empty());
+        EXPECT_EQ(a.statsJson, b.statsJson);
+    }
+}
+
+TEST(SimSweep, StaticSchemeCellsRun)
+{
+    SweepFixture fixture("static:4:1:1", false);
+    const auto results = runSimSweep(fixture.cells, 2);
+    for (const auto &cell : results) {
+        ASSERT_TRUE(cell.ok());
+        EXPECT_GT(cell.value->run.avgThroughput, 0.0);
+        EXPECT_TRUE(cell.value->statsJson.empty());
+    }
+}
+
+TEST(SimSweep, CellCloneLeavesPrototypePristine)
+{
+    SweepFixture fixture;
+    // Running the same spec twice must give identical results: the
+    // cell consumes a clone, never the prototype workload itself.
+    const SimCellResult first = runSimCell(fixture.cells[0]);
+    const SimCellResult second = runSimCell(fixture.cells[0]);
+    expectSameRun(first.run, second.run);
+    EXPECT_EQ(first.statsJson, second.statsJson);
+}
+
+TEST(SimSweep, UnknownSchemeFailsItsCellOnly)
+{
+    SweepFixture fixture;
+    fixture.cells[1].scheme = "quantum-annealer";
+    const auto results = runSimSweep(fixture.cells, 4);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_NE(results[1].error.find("quantum-annealer"),
+              std::string::npos);
+    EXPECT_TRUE(results[2].ok());
+    EXPECT_TRUE(results[3].ok());
+}
+
+} // namespace
+} // namespace morphcache

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Sanitizer CI leg: configure a separate build tree with ASan+UBSan
-# enabled and run the whole test suite under it. Run from the repo
-# root: tools/ci_sanitize.sh [build-dir]
+# enabled and run the whole test suite under it, then build the
+# parallel-runner tests under ThreadSanitizer (TSan cannot be
+# combined with ASan, so it gets its own build tree) and run them.
+# Run from the repo root: tools/ci_sanitize.sh [build-dir]
 set -eu
 
 builddir="${1:-build-sanitize}"
@@ -9,3 +11,12 @@ builddir="${1:-build-sanitize}"
 cmake -B "$builddir" -S . -DMORPHCACHE_SANITIZE=ON
 cmake --build "$builddir" -j
 ctest --test-dir "$builddir" --output-on-failure -j "$(nproc)"
+
+# ThreadSanitizer pass over the deterministic sweep runner: the
+# thread pool, the per-run registries, and the shared logging /
+# profiler sinks must be race-free under oversubscription.
+tsandir="${builddir}-tsan"
+cmake -B "$tsandir" -S . -DMORPHCACHE_TSAN=ON
+cmake --build "$tsandir" -j --target mc_tests
+"$tsandir"/tests/mc_tests \
+    --gtest_filter='ThreadPool.*:SweepRunner.*:SweepSeed.*:SimSweep.*'

@@ -10,7 +10,7 @@
  *   morphcache_sim [options]
  *     --workload mix:<1..12> | parsec:<name> | trace:<file>
  *                                        (default mix:8)
- *     --scheme morph | static:<x>:<y>:<z> | pipp | dsr
+ *     --scheme morph | static:<x>:<y>:<z> | pipp | dsr | ucp
  *                                        (default morph)
  *     --cores N          core count (default 16)
  *     --epochs N         recorded epochs (default 12)
@@ -19,6 +19,19 @@
  *     --paper-scale      Table 3 capacities verbatim
  *     --csv FILE         dump per-epoch throughput/misses as CSV
  *     --record FILE      record the workload to a trace file and exit
+ *
+ * Sweep mode (deterministic parallel experiment runner):
+ *     --sweep            run a mix × seed sweep of the chosen
+ *                        scheme instead of a single run; stdout is
+ *                        byte-identical for any --jobs value
+ *     --mixes A-B        mix range swept (default 1-12)
+ *     --sweep-seeds K    seed replicas per mix (default 1); cell
+ *                        seeds derive from --seed via
+ *                        splitMix64(seed ^ cellIndex)
+ *     --jobs N           worker threads (default: all hardware
+ *                        threads)
+ *     with --stats-out FILE, writes a JSON array holding every
+ *     cell's stats registry, in cell order
  *
  * Observability options:
  *     --trace FILE       decision-provenance event trace
@@ -53,18 +66,19 @@
  *   morphcache_sim --workload trace:mix01.mctrace --scheme dsr
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "baselines/dsr.hh"
-#include "baselines/pipp.hh"
 #include "check/fault.hh"
 #include "check/invariant.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "runner/sim_sweep.hh"
 #include "sim/config.hh"
 #include "sim/simulation.hh"
 #include "stats/profiler.hh"
@@ -97,6 +111,12 @@ struct Options
     std::string statsOutPath;
     bool statsEpochs = false;
     bool profile = false;
+    bool sweep = false;
+    std::uint32_t mixLo = 1;
+    std::uint32_t mixHi = 12;
+    std::uint32_t sweepSeeds = 1;
+    /** Worker threads; 0 = hardware_concurrency. */
+    unsigned jobs = 0;
 };
 
 /**
@@ -141,7 +161,9 @@ usage(const char *argv0)
                  "          [--trace FILE] [--trace-format "
                  "jsonl|chrome] [--trace-summary FILE]\n"
                  "          [--stats-out FILE] [--stats-epochs] "
-                 "[--profile] [-v] [-q]\n",
+                 "[--profile] [-v] [-q]\n"
+                 "          [--sweep] [--mixes A-B] [--sweep-seeds "
+                 "K] [--jobs N]\n",
                  argv0);
     std::exit(2);
 }
@@ -234,6 +256,44 @@ parseArgs(int argc, char **argv)
             opts.statsEpochs = true;
         } else if (arg == "--profile") {
             opts.profile = true;
+        } else if (arg == "--sweep") {
+            opts.sweep = true;
+        } else if (arg == "--mixes") {
+            const std::string spec = value();
+            unsigned lo = 0, hi = 0;
+            if (std::sscanf(spec.c_str(), "%u-%u", &lo, &hi) == 2) {
+                opts.mixLo = lo;
+                opts.mixHi = hi;
+            } else if (std::sscanf(spec.c_str(), "%u", &lo) == 1) {
+                opts.mixLo = opts.mixHi = lo;
+            } else {
+                std::fprintf(stderr, "bad --mixes '%s'\n",
+                             spec.c_str());
+                usage(argv[0]);
+            }
+            if (opts.mixLo < 1 || opts.mixHi > 12 ||
+                opts.mixLo > opts.mixHi) {
+                std::fprintf(stderr,
+                             "--mixes range must lie in 1-12\n");
+                usage(argv[0]);
+            }
+        } else if (arg == "--sweep-seeds") {
+            opts.sweepSeeds = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+            if (opts.sweepSeeds == 0) {
+                std::fprintf(stderr,
+                             "--sweep-seeds must be nonzero\n");
+                usage(argv[0]);
+            }
+        } else if (arg == "--jobs" || arg == "-j") {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
+                   arg.find_first_not_of("0123456789", 2) ==
+                       std::string::npos) {
+            // make-style attached form: -j8
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 2, nullptr, 10));
         } else if (arg == "-v" || arg == "--verbose") {
             setLogLevel(LogLevel::Verbose);
         } else if (arg == "-q" || arg == "--quiet") {
@@ -282,36 +342,27 @@ makeWorkload(const Options &opts, const GeneratorParams &gen,
     fatal("unknown workload kind '%s'", kind.c_str());
 }
 
+MorphConfig
+morphConfigFromOpts(const Options &opts, bool shared_space)
+{
+    MorphConfig config;
+    config.sharedAddressSpace = shared_space;
+    config.checkPolicy = checkPolicyFromName(opts.checkPolicy);
+    config.quarantineCleanEpochs = opts.quarantine;
+    config.faults = opts.faults;
+    return config;
+}
+
 std::unique_ptr<MemorySystem>
 makeSystem(const Options &opts, const HierarchyParams &hier,
            bool shared_space, const MorphCacheSystem **morph_out)
 {
-    *morph_out = nullptr;
-    if (opts.scheme == "morph") {
-        MorphConfig config;
-        config.sharedAddressSpace = shared_space;
-        config.checkPolicy = checkPolicyFromName(opts.checkPolicy);
-        config.quarantineCleanEpochs = opts.quarantine;
-        config.faults = opts.faults;
-        auto system =
-            std::make_unique<MorphCacheSystem>(hier, config);
-        *morph_out = system.get();
-        return system;
-    }
-    if (opts.scheme == "pipp")
-        return std::make_unique<PippSystem>(hier);
-    if (opts.scheme == "dsr")
-        return std::make_unique<DsrSystem>(hier);
-    if (opts.scheme.rfind("static:", 0) == 0) {
-        unsigned x = 0, y = 0, z = 0;
-        if (std::sscanf(opts.scheme.c_str(), "static:%u:%u:%u", &x,
-                        &y, &z) != 3) {
-            fatal("bad --scheme '%s'", opts.scheme.c_str());
-        }
-        return std::make_unique<StaticTopologySystem>(
-            hier, Topology::symmetric(opts.cores, x, y, z));
-    }
-    fatal("unknown scheme '%s'", opts.scheme.c_str());
+    std::unique_ptr<MemorySystem> system =
+        makeSchemeSystem(opts.scheme, hier, opts.cores,
+                         morphConfigFromOpts(opts, shared_space));
+    *morph_out =
+        dynamic_cast<const MorphCacheSystem *>(system.get());
+    return system;
 }
 
 /**
@@ -341,6 +392,138 @@ configDescription(const Options &opts)
     return buf;
 }
 
+/**
+ * Sweep mode: fan mix × seed cells of the chosen scheme across the
+ * worker pool. Everything written to stdout is a pure function of
+ * the cell list, so the bytes are identical for any --jobs value;
+ * wall-clock telemetry goes to stderr.
+ */
+int
+runSweep(const Options &opts)
+{
+    const HierarchyParams hier = opts.paperScale
+                                     ? paperScaleHierarchy(opts.cores)
+                                     : fastScaleHierarchy(opts.cores);
+    const GeneratorParams gen = generatorFor(hier);
+    SimParams sim;
+    sim.epochs = opts.epochs;
+    sim.refsPerEpochPerCore = opts.refs;
+
+    const std::string base_desc = configDescription(opts);
+
+    std::vector<std::unique_ptr<Workload>> prototypes;
+    std::vector<SimCellSpec> cells;
+    std::uint64_t cell_index = 0;
+    for (std::uint32_t rep = 0; rep < opts.sweepSeeds; ++rep) {
+        for (std::uint32_t m = opts.mixLo; m <= opts.mixHi; ++m) {
+            const std::uint64_t seed =
+                sweepCellSeed(opts.seed, cell_index);
+            char name[16];
+            std::snprintf(name, sizeof(name), "MIX %02d", m);
+            MixSpec mix = mixByName(name);
+            if (opts.cores < mix.benchmarks.size())
+                mix.benchmarks.resize(opts.cores);
+            prototypes.push_back(
+                std::make_unique<MixWorkload>(mix, gen, seed));
+
+            SimCellSpec spec;
+            char label[64];
+            std::snprintf(label, sizeof(label),
+                          "mix:%02u seed=%llu", m,
+                          static_cast<unsigned long long>(seed));
+            spec.label = label;
+            spec.workload = prototypes.back().get();
+            spec.scheme = opts.scheme;
+            spec.hier = hier;
+            spec.sim = sim;
+            spec.morph = morphConfigFromOpts(opts, false);
+            spec.seed = seed;
+            char desc[640];
+            std::snprintf(desc, sizeof(desc), "%s cell=%llu mix=%u",
+                          base_desc.c_str(),
+                          static_cast<unsigned long long>(cell_index),
+                          m);
+            spec.configDesc = desc;
+            spec.wantStatsJson = !opts.statsOutPath.empty();
+            cells.push_back(std::move(spec));
+            ++cell_index;
+        }
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto results = runSimSweep(cells, opts.jobs);
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    std::printf("sweep      : %zu cells (mixes %u-%u x %u seeds), "
+                "scheme %s\n",
+                cells.size(), opts.mixLo, opts.mixHi,
+                opts.sweepSeeds, opts.scheme.c_str());
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &cell = results[i];
+        if (!cell.ok()) {
+            ++failed;
+            std::printf("cell %3zu   : %-24s FAILED: %s\n", i,
+                        cells[i].label.c_str(),
+                        cell.error.c_str());
+            continue;
+        }
+        const SimCellResult &r = *cell.value;
+        std::printf("cell %3zu   : %-24s throughput=%.6f "
+                    "performance=%.6f final=%s",
+                    i, r.label.c_str(), r.run.avgThroughput,
+                    r.run.performance, r.finalTopology.c_str());
+        if (opts.scheme == "morph") {
+            std::printf(" merges=%llu splits=%llu",
+                        static_cast<unsigned long long>(
+                            r.reconfig.merges),
+                        static_cast<unsigned long long>(
+                            r.reconfig.splits));
+        }
+        std::printf("\n");
+    }
+    if (failed > 0)
+        std::printf("sweep      : %zu of %zu cells FAILED\n", failed,
+                    results.size());
+
+    if (!opts.statsOutPath.empty()) {
+        std::string doc = "[\n";
+        bool first = true;
+        for (const auto &cell : results) {
+            if (!cell.ok())
+                continue;
+            if (!first)
+                doc += ",\n";
+            first = false;
+            doc += cell.value->statsJson;
+        }
+        doc += "\n]\n";
+        FILE *out = std::fopen(opts.statsOutPath.c_str(), "w");
+        if (!out) {
+            fatal("cannot write '%s'", opts.statsOutPath.c_str());
+        }
+        std::fwrite(doc.data(), 1, doc.size(), out);
+        std::fclose(out);
+        // The path differs between -j runs being diffed, so this
+        // confirmation stays out of the deterministic stdout stream.
+        std::fprintf(stderr, "stats registries written to %s\n",
+                     opts.statsOutPath.c_str());
+    }
+
+    // Timing is real wall-clock and must stay out of the
+    // deterministic stdout byte stream.
+    std::fprintf(stderr,
+                 "sweep: %zu cells on %u jobs in %.2f s\n",
+                 cells.size(),
+                 opts.jobs > 0 ? opts.jobs
+                               : ThreadPool::defaultThreads(),
+                 wall_s);
+    return failed == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -352,6 +535,9 @@ run(const Options &opts)
         std::printf("%s", formatTraceSummary(summary).c_str());
         return 0;
     }
+
+    if (opts.sweep)
+        return runSweep(opts);
 
     HierarchyParams hier = opts.paperScale
                                ? paperScaleHierarchy(opts.cores)
