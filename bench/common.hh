@@ -147,7 +147,8 @@ printSeries(const char *label,
         sum += v;
     }
     if (!values.empty())
-        std::printf("  | avg %6.3f", sum / values.size());
+        std::printf("  | avg %6.3f",
+                    sum / static_cast<double>(values.size()));
     std::printf("\n");
 }
 

@@ -70,7 +70,8 @@ main()
     }
     std::printf("%-14s", "AVG");
     for (double s : sums)
-        std::printf(" %9.3f", s / profiles.size());
+        std::printf(" %9.3f",
+                    s / static_cast<double>(profiles.size()));
     std::printf("\n\npaper averages: 1.000 / 0.96 / 1.12 / 1.17 / "
                 "1.16 / 1.256\n");
     return 0;

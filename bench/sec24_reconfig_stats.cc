@@ -60,7 +60,9 @@ main()
                     static_cast<unsigned long long>(min_events),
                     static_cast<unsigned long long>(max_events),
                     static_cast<double>(total) / 12.0,
-                    total ? 100.0 * asym / total : 0.0);
+                    total ? 100.0 * static_cast<double>(asym) /
+                                static_cast<double>(total)
+                          : 0.0);
     }
 
     std::printf("multithreaded applications:\n");
@@ -98,7 +100,9 @@ main()
                     static_cast<unsigned long long>(min_events),
                     static_cast<unsigned long long>(max_events),
                     static_cast<double>(total) / 12.0,
-                    total ? 100.0 * asym / total : 0.0);
+                    total ? 100.0 * static_cast<double>(asym) /
+                                static_cast<double>(total)
+                          : 0.0);
     }
     return 0;
 }

@@ -138,7 +138,9 @@ InvariantChecker::checkGroupShapes(const char *level,
         if (group.empty())
             continue; // already a partition violation
         const bool contiguous =
-            group.back() - group.front() + 1 == group.size();
+            static_cast<std::size_t>(group.back() - group.front()) +
+                1 ==
+            group.size();
         if (!contiguous) {
             add(out, InvariantKind::GroupShape,
                 format("%s group %zu [%u..%u] is not a contiguous "

@@ -93,7 +93,7 @@ CacheLevelModel::configure(const Partition &partition)
     // current segment while any group's span covers the boundary.
     std::vector<SliceId> cover_until(params_.numSlices, 0);
     for (std::uint32_t i = 0; i < params_.numSlices; ++i)
-        cover_until[i] = i;
+        cover_until[i] = static_cast<SliceId>(i);
     for (const auto &[lo, hi] : spans) {
         for (SliceId s = lo; s <= hi; ++s)
             cover_until[s] = std::max(cover_until[s], hi);
@@ -103,7 +103,7 @@ CacheLevelModel::configure(const Partition &partition)
     for (std::uint32_t s = 0; s < params_.numSlices; ++s) {
         if (s > reach) {
             ++seg;
-            reach = s;
+            reach = static_cast<SliceId>(s);
         }
         reach = std::max<SliceId>(reach, cover_until[s]);
         bus_group[s] = seg;
@@ -608,7 +608,8 @@ CacheLevelModel::utilization(const std::vector<SliceId> &slices) const
     for (SliceId s : slices)
         ones += sliceAcfPopcount(s);
     return static_cast<double>(ones) /
-           (static_cast<double>(params_.acfvBits) * slices.size());
+           (static_cast<double>(params_.acfvBits) *
+            static_cast<double>(slices.size()));
 }
 
 std::vector<std::uint64_t>
@@ -651,8 +652,8 @@ CacheLevelModel::overlap(const std::vector<SliceId> &a,
     // (popA*popB/bits) leaves the component actual data sharing
     // contributes — a two-multiplier refinement of the paper's
     // common-1s test that keeps it meaningful at high coverage.
-    const double bits =
-        static_cast<double>(params_.acfvBits) * a.size();
+    const double bits = static_cast<double>(params_.acfvBits) *
+                        static_cast<double>(a.size());
     const double expected =
         static_cast<double>(pa) * static_cast<double>(pb) / bits;
     const double excess = static_cast<double>(common) - expected;

@@ -83,8 +83,14 @@ struct BusParams
     std::uint32_t
     txnCpuCycles() const
     {
+        // Saturate the pipeline overlap before multiplying: a
+        // 1-bus-cycle transaction on a pipelined bus still occupies
+        // one cycle — unsigned wrap here would turn it into a
+        // ~2^32-cycle occupancy.
+        const std::uint32_t overlap = pipelined ? 1u : 0u;
         const std::uint32_t cycles =
-            pipelined ? busCyclesPerTxn - 1 : busCyclesPerTxn;
+            busCyclesPerTxn > overlap ? busCyclesPerTxn - overlap
+                                      : 1u;
         return cycles * cpuCyclesPerBusCycle;
     }
 
@@ -95,9 +101,14 @@ struct BusParams
     std::uint32_t
     requestCpuCycles() const
     {
+        // Same saturation: the old `max(1, cycles)` ran after the
+        // unsigned subtraction had already wrapped, so a pipelined
+        // bus with busCyclesPerTxn < 2 kept the wrapped value.
+        const std::uint32_t overlap = pipelined ? 2u : 1u;
         const std::uint32_t cycles =
-            pipelined ? busCyclesPerTxn - 2 : busCyclesPerTxn - 1;
-        return std::max(1u, cycles) * cpuCyclesPerBusCycle;
+            busCyclesPerTxn > overlap ? busCyclesPerTxn - overlap
+                                      : 1u;
+        return cycles * cpuCyclesPerBusCycle;
     }
 };
 

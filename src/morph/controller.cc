@@ -40,15 +40,17 @@ MorphController::attachFaultInjector(FaultInjector *injector)
     attachedFaults_ = injector;
 }
 
-MorphController::MergeEval
-MorphController::evaluateMerge(const CacheLevelModel &level,
+MergeEval
+MorphController::evaluateMerge(const LevelSignals &level,
                                const MsatConfig &msat,
                                const std::vector<SliceId> &a,
-                               const std::vector<SliceId> &b) const
+                               const std::vector<SliceId> &b,
+                               FaultInjector *faults) const
 {
     MergeEval eval;
-    eval.utilA = level.utilization(a);
-    eval.utilB = level.utilization(b);
+    const MergeSignals sig = level.mergeSignals(a, b);
+    eval.utilA = sig.utilA;
+    eval.utilB = sig.utilB;
     const double h = msat.high;
     const double l = msat.low;
 
@@ -57,12 +59,10 @@ MorphController::evaluateMerge(const CacheLevelModel &level,
     // fills reads a tiny *reused* footprint but offers no usable
     // spare capacity (its fills would evict whatever the hot
     // partner spills into it).
-    const double pa = level.fillPressure(a);
-    const double pb = level.fillPressure(b);
     if ((eval.utilA > h && eval.utilB < l &&
-         pb < config_.coldChurnLimit) ||
+         sig.fillPressureB < config_.coldChurnLimit) ||
         (eval.utilB > h && eval.utilA < l &&
-         pa < config_.coldChurnLimit)) {
+         sig.fillPressureA < config_.coldChurnLimit)) {
         eval.desirable = true;
         eval.condition = 1;
     }
@@ -84,27 +84,27 @@ MorphController::evaluateMerge(const CacheLevelModel &level,
     }
 
     // Injected MSAT corruption: the latched classification inverts.
-    if (FaultInjector *faults = faultInjector()) {
-        if (faults->corruptClassification()) {
-            eval.desirable = !eval.desirable;
-            eval.condition = eval.desirable ? 3 : 0;
-        }
+    if (faults && faults->corruptClassification()) {
+        eval.desirable = !eval.desirable;
+        eval.condition = eval.desirable ? 3 : 0;
     }
     return eval;
 }
 
-MorphController::SplitEval
-MorphController::evaluateSplit(const CacheLevelModel &level,
+SplitEval
+MorphController::evaluateSplit(const LevelSignals &level,
                                const MsatConfig &msat,
-                               const std::vector<SliceId> &group) const
+                               const std::vector<SliceId> &group,
+                               FaultInjector *faults) const
 {
     SplitEval eval;
     if (group.size() < 2)
         return eval;
     std::vector<SliceId> first, second;
     splitGroup(group, first, second);
-    eval.utilFirst = level.utilization(first);
-    eval.utilSecond = level.utilization(second);
+    const SplitSignals sig = level.splitSignals(first, second);
+    eval.utilFirst = sig.utilFirst;
+    eval.utilSecond = sig.utilSecond;
     // Both halves hot: the merge no longer buys capacity sharing;
     // it only costs merged-access latency and interference — unless
     // the halves genuinely share data (Section 2.3 / Figure 6).
@@ -118,11 +118,9 @@ MorphController::evaluateSplit(const CacheLevelModel &level,
         }
     }
 
-    if (FaultInjector *faults = faultInjector()) {
-        if (faults->corruptClassification()) {
-            eval.desirable = !eval.desirable;
-            eval.faultInverted = true;
-        }
+    if (faults && faults->corruptClassification()) {
+        eval.desirable = !eval.desirable;
+        eval.faultInverted = true;
     }
     return eval;
 }
@@ -152,46 +150,63 @@ mergeConditionName(int condition)
 } // namespace
 
 void
-MorphController::traceMerge(const char *level, const MergeEval &eval,
-                            const MsatConfig &msat,
-                            const std::vector<SliceId> &a,
-                            const std::vector<SliceId> &b)
+MorphController::traceMerge(const char *level,
+                            const ProposalEvent &event,
+                            const MsatConfig &msat)
 {
     if (!tracer_ || !tracer_->enabled())
         return;
     TraceEvent ev("merge");
     ev.str("level", level)
-        .str("cond", mergeConditionName(eval.condition))
-        .u64("aFirst", a.front())
-        .u64("aLast", a.back())
-        .u64("bFirst", b.front())
-        .u64("bLast", b.back())
-        .f64("utilA", eval.utilA)
-        .f64("utilB", eval.utilB)
-        .f64("overlap", eval.overlap)
+        .str("cond", mergeConditionName(event.merge.condition))
+        .u64("aFirst", event.aFirst)
+        .u64("aLast", event.aLast)
+        .u64("bFirst", event.bFirst)
+        .u64("bLast", event.bLast)
+        .f64("utilA", event.merge.utilA)
+        .f64("utilB", event.merge.utilB)
+        .f64("overlap", event.merge.overlap)
         .f64("msatHigh", msat.high)
         .f64("msatLow", msat.low);
     tracer_->emit(ev);
 }
 
 void
-MorphController::traceSplit(const char *level, const SplitEval &eval,
-                            const MsatConfig &msat,
-                            const std::vector<SliceId> &group,
-                            bool forced)
+MorphController::traceForcedMerge(const ProposalEvent &event)
+{
+    if (!tracer_ || !tracer_->enabled())
+        return;
+    TraceEvent ev("merge");
+    ev.str("level", "l3")
+        .str("cond", "forced")
+        .u64("aFirst", event.aFirst)
+        .u64("aLast", event.aLast)
+        .u64("bFirst", event.bFirst)
+        .u64("bLast", event.bLast)
+        .f64("utilA", event.merge.utilA)
+        .f64("utilB", event.merge.utilB)
+        .f64("msatHigh", msatL3Now_.high)
+        .f64("msatLow", msatL3Now_.low);
+    tracer_->emit(ev);
+}
+
+void
+MorphController::traceSplit(const char *level,
+                            const ProposalEvent &event,
+                            const MsatConfig &msat, bool forced)
 {
     if (!tracer_ || !tracer_->enabled())
         return;
     TraceEvent ev("split");
     ev.str("level", level)
-        .str("cond", forced            ? "forced"
-                     : eval.faultInverted ? "fault"
-                                          : "interference")
-        .u64("first", group.front())
-        .u64("last", group.back())
-        .f64("utilFirst", eval.utilFirst)
-        .f64("utilSecond", eval.utilSecond)
-        .f64("overlap", eval.overlap)
+        .str("cond", forced ? "forced"
+                     : event.split.faultInverted ? "fault"
+                                                 : "interference")
+        .u64("first", event.aFirst)
+        .u64("last", event.aLast)
+        .f64("utilFirst", event.split.utilFirst)
+        .f64("utilSecond", event.split.utilSecond)
+        .f64("overlap", event.split.overlap)
         .f64("splitBar", msat.high * config_.splitHighFactor);
     tracer_->emit(ev);
 }
@@ -222,7 +237,8 @@ MorphController::traceClassification(const char *level,
 
 bool
 MorphController::mergeAllowed(const std::vector<SliceId> &a,
-                              const std::vector<SliceId> &b) const
+                              const std::vector<SliceId> &b,
+                              RuleBug bug) const
 {
     if (config_.allowNonNeighborGroups)
         return true;
@@ -232,6 +248,10 @@ MorphController::mergeAllowed(const std::vector<SliceId> &a,
     if (a_hi + 1 != b_lo)
         return false;
     if (config_.allowArbitraryGroupSizes)
+        return true;
+    // Planted model-checker bug: accept any contiguous pair, even
+    // when the result is not an aligned power of two.
+    if (bug == RuleBug::IgnoreAlignment)
         return true;
     // Default mode: merged group must be an aligned power of two
     // (private/dual/quad/oct/all-shared, Section 2).
@@ -252,19 +272,14 @@ MorphController::splitGroup(const std::vector<SliceId> &group,
     second.assign(group.begin() + half, group.end());
 }
 
-void
-MorphController::noteEvent(const DecisionState &st, bool merge)
+bool
+MorphController::outcomeAsymmetric(const TransitionProposal &p) const
 {
-    if (merge)
-        ++stats_.merges;
-    else
-        ++stats_.splits;
     Topology topo;
     topo.numCores = numCores_;
-    topo.l2 = st.l2;
-    topo.l3 = st.l3;
-    if (!topo.isSymmetric())
-        ++stats_.asymmetricOutcomes;
+    topo.l2 = p.l2;
+    topo.l3 = p.l3;
+    return !topo.isSymmetric();
 }
 
 namespace {
@@ -301,29 +316,37 @@ groupIndexOf(const Partition &partition, SliceId slice)
 } // namespace
 
 void
-MorphController::doL3Merges(const CacheLevelModel &l3,
-                            DecisionState &st)
+MorphController::doL3Merges(const DecisionInputs &in,
+                            TransitionProposal &p) const
 {
     bool changed = true;
     while (changed) {
         changed = false;
-        for (std::size_t i = 0; i + 1 < st.l3.size() && !changed;
+        for (std::size_t i = 0; i + 1 < p.l3.size() && !changed;
              ++i) {
             const std::size_t j_end = config_.allowNonNeighborGroups
-                                          ? st.l3.size()
+                                          ? p.l3.size()
                                           : i + 2;
             for (std::size_t j = i + 1; j < j_end; ++j) {
-                if (!mergeAllowed(st.l3[i], st.l3[j]))
+                if (!mergeAllowed(p.l3[i], p.l3[j], in.ruleBug))
                     continue;
                 const MergeEval eval =
-                    evaluateMerge(l3, msatL3Now_, st.l3[i], st.l3[j]);
+                    evaluateMerge(*in.l3, in.msatL3, p.l3[i],
+                                  p.l3[j], in.faults);
                 if (!eval.desirable)
                     continue;
-                countMergeCondition(eval);
-                traceMerge("l3", eval, msatL3Now_, st.l3[i], st.l3[j]);
-                mergeInto(st.l3, st.l3MergedNow, i, j);
-                ++st.merges;
-                noteEvent(st, true);
+                ProposalEvent ev;
+                ev.kind = ProposalEvent::Kind::L3Merge;
+                ev.aFirst = p.l3[i].front();
+                ev.aLast = p.l3[i].back();
+                ev.bFirst = p.l3[j].front();
+                ev.bLast = p.l3[j].back();
+                ev.merge = eval;
+                mergeInto(p.l3, p.l3MergedNow, i, j);
+                ++p.merges;
+                ev.asymmetric =
+                    in.classifyOutcomes && outcomeAsymmetric(p);
+                p.events.push_back(ev);
                 changed = true;
                 break;
             }
@@ -332,24 +355,23 @@ MorphController::doL3Merges(const CacheLevelModel &l3,
 }
 
 void
-MorphController::doL2Merges(const CacheLevelModel &l2,
-                            const CacheLevelModel &l3,
-                            DecisionState &st)
+MorphController::doL2Merges(const DecisionInputs &in,
+                            TransitionProposal &p) const
 {
-    (void)l3; // covering L3 merges are structural, not ACF-driven
     bool changed = true;
     while (changed) {
         changed = false;
-        for (std::size_t i = 0; i + 1 < st.l2.size() && !changed;
+        for (std::size_t i = 0; i + 1 < p.l2.size() && !changed;
              ++i) {
             const std::size_t j_end = config_.allowNonNeighborGroups
-                                          ? st.l2.size()
+                                          ? p.l2.size()
                                           : i + 2;
             for (std::size_t j = i + 1; j < j_end; ++j) {
-                if (!mergeAllowed(st.l2[i], st.l2[j]))
+                if (!mergeAllowed(p.l2[i], p.l2[j], in.ruleBug))
                     continue;
                 const MergeEval eval =
-                    evaluateMerge(l2, msatNow_, st.l2[i], st.l2[j]);
+                    evaluateMerge(*in.l2, in.msatL2, p.l2[i],
+                                  p.l2[j], in.faults);
                 if (!eval.desirable)
                     continue;
 
@@ -358,13 +380,14 @@ MorphController::doL2Merges(const CacheLevelModel &l2,
                 // L3 groups when they are distinct (always safe) and
                 // structurally mergeable.
                 const std::size_t g3a =
-                    groupIndexOf(st.l3, st.l2[i].front());
+                    groupIndexOf(p.l3, p.l2[i].front());
                 const std::size_t g3b =
-                    groupIndexOf(st.l3, st.l2[j].front());
-                if (g3a != g3b) {
+                    groupIndexOf(p.l3, p.l2[j].front());
+                if (g3a != g3b &&
+                    in.ruleBug != RuleBug::SkipForcedL3Merge) {
                     const std::size_t lo = std::min(g3a, g3b);
                     const std::size_t hi = std::max(g3a, g3b);
-                    if (!mergeAllowed(st.l3[lo], st.l3[hi]))
+                    if (!mergeAllowed(p.l3[lo], p.l3[hi], in.ruleBug))
                         continue;
                     // Non-neighbor mode aside, covering groups are
                     // adjacent whenever the L2 groups are.
@@ -373,34 +396,37 @@ MorphController::doL2Merges(const CacheLevelModel &l2,
                         continue;
                     }
                     // Structural merge for inclusion, not ACF-driven.
-                    ++stats_.mergesForced;
-                    if (tracer_ && tracer_->enabled()) {
-                        MergeEval forced;
-                        forced.utilA = l3.utilization(st.l3[lo]);
-                        forced.utilB = l3.utilization(st.l3[hi]);
-                        TraceEvent ev("merge");
-                        ev.str("level", "l3")
-                            .str("cond", "forced")
-                            .u64("aFirst", st.l3[lo].front())
-                            .u64("aLast", st.l3[lo].back())
-                            .u64("bFirst", st.l3[hi].front())
-                            .u64("bLast", st.l3[hi].back())
-                            .f64("utilA", forced.utilA)
-                            .f64("utilB", forced.utilB)
-                            .f64("msatHigh", msatL3Now_.high)
-                            .f64("msatLow", msatL3Now_.low);
-                        tracer_->emit(ev);
+                    ProposalEvent forced;
+                    forced.kind = ProposalEvent::Kind::ForcedL3Merge;
+                    forced.aFirst = p.l3[lo].front();
+                    forced.aLast = p.l3[lo].back();
+                    forced.bFirst = p.l3[hi].front();
+                    forced.bLast = p.l3[hi].back();
+                    if (in.provenance) {
+                        forced.merge.utilA =
+                            in.l3->utilization(p.l3[lo]);
+                        forced.merge.utilB =
+                            in.l3->utilization(p.l3[hi]);
                     }
-                    mergeInto(st.l3, st.l3MergedNow, lo, hi);
-                    ++st.merges;
-                    noteEvent(st, true);
+                    mergeInto(p.l3, p.l3MergedNow, lo, hi);
+                    ++p.merges;
+                    forced.asymmetric =
+                        in.classifyOutcomes && outcomeAsymmetric(p);
+                    p.events.push_back(forced);
                 }
 
-                countMergeCondition(eval);
-                traceMerge("l2", eval, msatNow_, st.l2[i], st.l2[j]);
-                mergeInto(st.l2, st.l2MergedNow, i, j);
-                ++st.merges;
-                noteEvent(st, true);
+                ProposalEvent ev;
+                ev.kind = ProposalEvent::Kind::L2Merge;
+                ev.aFirst = p.l2[i].front();
+                ev.aLast = p.l2[i].back();
+                ev.bFirst = p.l2[j].front();
+                ev.bLast = p.l2[j].back();
+                ev.merge = eval;
+                mergeInto(p.l2, p.l2MergedNow, i, j);
+                ++p.merges;
+                ev.asymmetric =
+                    in.classifyOutcomes && outcomeAsymmetric(p);
+                p.events.push_back(ev);
                 changed = true;
                 break;
             }
@@ -409,59 +435,70 @@ MorphController::doL2Merges(const CacheLevelModel &l2,
 }
 
 void
-MorphController::doL2Splits(const CacheLevelModel &l2,
-                            DecisionState &st)
+MorphController::doL2Splits(const DecisionInputs &in,
+                            TransitionProposal &p) const
 {
-    for (std::size_t g = 0; g < st.l2.size(); ++g) {
-        if (st.l2MergedNow[g])
+    for (std::size_t g = 0; g < p.l2.size(); ++g) {
+        if (p.l2MergedNow[g])
             continue; // merge-aggressive exclusion
         // Hysteresis: leave freshly merged groups alone.
-        const std::uint64_t l2_stamp = l2MergeStamp_[st.l2[g].front()];
-        if (st.l2[g].size() > 1 && l2_stamp != 0 &&
-            stats_.decisions <
-                l2_stamp + config_.minEpochsBeforeSplit) {
-            continue;
+        if (in.l2MergeStamps) {
+            const std::uint64_t l2_stamp =
+                (*in.l2MergeStamps)[p.l2[g].front()];
+            if (p.l2[g].size() > 1 && l2_stamp != 0 &&
+                in.decisionIndex <
+                    l2_stamp + config_.minEpochsBeforeSplit) {
+                continue;
+            }
         }
-        const SplitEval eval = evaluateSplit(l2, msatNow_, st.l2[g]);
+        const SplitEval eval =
+            evaluateSplit(*in.l2, in.msatL2, p.l2[g], in.faults);
         if (!eval.desirable)
             continue;
-        traceSplit("l2", eval, msatNow_, st.l2[g], false);
+        ProposalEvent ev;
+        ev.kind = ProposalEvent::Kind::L2Split;
+        ev.aFirst = p.l2[g].front();
+        ev.aLast = p.l2[g].back();
+        ev.split = eval;
         std::vector<SliceId> first, second;
-        splitGroup(st.l2[g], first, second);
-        st.l2[g] = std::move(first);
-        st.l2.insert(st.l2.begin() + static_cast<std::ptrdiff_t>(g) +
-                         1,
-                     std::move(second));
-        st.l2MergedNow.insert(st.l2MergedNow.begin() +
-                                  static_cast<std::ptrdiff_t>(g) + 1,
-                              0);
-        ++st.splits;
-        noteEvent(st, false);
+        splitGroup(p.l2[g], first, second);
+        p.l2[g] = std::move(first);
+        p.l2.insert(p.l2.begin() + static_cast<std::ptrdiff_t>(g) +
+                        1,
+                    std::move(second));
+        p.l2MergedNow.insert(p.l2MergedNow.begin() +
+                                 static_cast<std::ptrdiff_t>(g) + 1,
+                             0);
+        ++p.splits;
+        ev.asymmetric = in.classifyOutcomes && outcomeAsymmetric(p);
+        p.events.push_back(ev);
         ++g; // skip the freshly created second half
     }
 }
 
 void
-MorphController::doL3Splits(const CacheLevelModel &l3,
-                            const CacheLevelModel &l2,
-                            DecisionState &st)
+MorphController::doL3Splits(const DecisionInputs &in,
+                            TransitionProposal &p) const
 {
-    for (std::size_t g = 0; g < st.l3.size(); ++g) {
-        if (st.l3MergedNow[g])
+    for (std::size_t g = 0; g < p.l3.size(); ++g) {
+        if (p.l3MergedNow[g])
             continue;
-        const std::uint64_t l3_stamp = l3MergeStamp_[st.l3[g].front()];
-        if (st.l3[g].size() > 1 && l3_stamp != 0 &&
-            stats_.decisions <
-                l3_stamp + config_.minEpochsBeforeSplit) {
-            continue;
+        if (in.l3MergeStamps) {
+            const std::uint64_t l3_stamp =
+                (*in.l3MergeStamps)[p.l3[g].front()];
+            if (p.l3[g].size() > 1 && l3_stamp != 0 &&
+                in.decisionIndex <
+                    l3_stamp + config_.minEpochsBeforeSplit) {
+                continue;
+            }
         }
         const SplitEval eval =
-            evaluateSplit(l3, msatL3Now_, st.l3[g]);
+            evaluateSplit(*in.l3, in.msatL3, p.l3[g], in.faults);
         if (!eval.desirable)
             continue;
 
         std::vector<SliceId> first, second;
-        splitGroup(st.l3[g], first, second);
+        splitGroup(p.l3[g], first, second);
 
         // Inclusion (Section 2.3): every L2 group under this L3
         // group must fit within one half; straddling groups must
@@ -477,19 +514,23 @@ MorphController::doL3Splits(const CacheLevelModel &l3,
             return true;
         };
 
-        Partition new_l2 = st.l2;
-        std::vector<char> new_l2_merged = st.l2MergedNow;
+        Partition new_l2 = p.l2;
+        std::vector<char> new_l2_merged = p.l2MergedNow;
         std::uint64_t extra_splits = 0;
-        // Straddling L2 splits applied for inclusion, recorded for
-        // provenance only after the whole proposal proves feasible.
-        std::vector<std::pair<SplitEval, std::vector<SliceId>>>
-            forced_l2;
+        // Straddling L2 splits applied for inclusion, recorded as
+        // events only after the whole proposal proves feasible.
+        std::vector<ProposalEvent> forced_l2;
         bool feasible = true;
-        for (std::size_t k = 0; k < new_l2.size() && feasible; ++k) {
+        // Planted model-checker bug: split the L3 group without
+        // splitting the L2 groups that straddle its halves.
+        const bool skip_forced =
+            in.ruleBug == RuleBug::SkipForcedL2Split;
+        for (std::size_t k = 0;
+             k < new_l2.size() && feasible && !skip_forced; ++k) {
             const auto &group = new_l2[k];
             // Only groups under this L3 group matter.
-            if (std::find(st.l3[g].begin(), st.l3[g].end(),
-                          group.front()) == st.l3[g].end()) {
+            if (std::find(p.l3[g].begin(), p.l3[g].end(),
+                          group.front()) == p.l3[g].end()) {
                 continue;
             }
             if (in_half(group, first) || in_half(group, second))
@@ -499,13 +540,17 @@ MorphController::doL3Splits(const CacheLevelModel &l3,
                 break;
             }
             const SplitEval l2_eval =
-                evaluateSplit(l2, msatNow_, group);
+                evaluateSplit(*in.l2, in.msatL2, group, in.faults);
             if (!l2_eval.desirable) {
                 feasible = false;
                 break;
             }
-            if (tracer_ && tracer_->enabled())
-                forced_l2.emplace_back(l2_eval, group);
+            ProposalEvent fev;
+            fev.kind = ProposalEvent::Kind::ForcedL2Split;
+            fev.aFirst = group.front();
+            fev.aLast = group.back();
+            fev.split = l2_eval;
+            forced_l2.push_back(fev);
             std::vector<SliceId> l2_first, l2_second;
             splitGroup(group, l2_first, l2_second);
             if (!(in_half(l2_first, first) &&
@@ -527,24 +572,30 @@ MorphController::doL3Splits(const CacheLevelModel &l3,
         if (!feasible)
             continue;
 
-        traceSplit("l3", eval, msatL3Now_, st.l3[g], false);
-        for (const auto &[l2_eval, l2_group] : forced_l2)
-            traceSplit("l2", l2_eval, msatNow_, l2_group, true);
-        stats_.splitsForced += extra_splits;
+        ProposalEvent ev;
+        ev.kind = ProposalEvent::Kind::L3Split;
+        ev.aFirst = p.l3[g].front();
+        ev.aLast = p.l3[g].back();
+        ev.split = eval;
 
-        st.l2 = std::move(new_l2);
-        st.l2MergedNow = std::move(new_l2_merged);
-        st.l3[g] = std::move(first);
-        st.l3.insert(st.l3.begin() + static_cast<std::ptrdiff_t>(g) +
-                         1,
-                     std::move(second));
-        st.l3MergedNow.insert(st.l3MergedNow.begin() +
-                                  static_cast<std::ptrdiff_t>(g) + 1,
-                              0);
-        st.splits += 1 + extra_splits;
-        for (std::uint64_t e = 0; e < extra_splits; ++e)
-            noteEvent(st, false);
-        noteEvent(st, false);
+        p.l2 = std::move(new_l2);
+        p.l2MergedNow = std::move(new_l2_merged);
+        p.l3[g] = std::move(first);
+        p.l3.insert(p.l3.begin() + static_cast<std::ptrdiff_t>(g) +
+                        1,
+                    std::move(second));
+        p.l3MergedNow.insert(p.l3MergedNow.begin() +
+                                 static_cast<std::ptrdiff_t>(g) + 1,
+                             0);
+        p.splits += 1 + extra_splits;
+        const bool asym =
+            in.classifyOutcomes && outcomeAsymmetric(p);
+        ev.asymmetric = asym;
+        p.events.push_back(ev);
+        for (ProposalEvent &fev : forced_l2) {
+            fev.asymmetric = asym;
+            p.events.push_back(fev);
+        }
         ++g;
     }
 }
@@ -609,15 +660,16 @@ MorphController::shapeRule() const
 }
 
 bool
-MorphController::checkDecision(const DecisionState &st,
+MorphController::checkDecision(const Partition &l2,
+                               const Partition &l3,
                                const char *phase)
 {
     if (!checker_.enabled())
         return false;
     Topology topo;
     topo.numCores = numCores_;
-    topo.l2 = st.l2;
-    topo.l3 = st.l3;
+    topo.l2 = l2;
+    topo.l3 = l3;
     return checker_.report(phase,
                            checker_.checkTopology(topo, shapeRule()));
 }
@@ -709,6 +761,91 @@ MorphController::quarantineEpoch(Hierarchy &hierarchy)
     hierarchy.resetFootprints();
 }
 
+TransitionProposal
+MorphController::proposeTransition(const Topology &current,
+                                   const DecisionInputs &in) const
+{
+    TransitionProposal p;
+    p.l2 = current.l2;
+    p.l3 = current.l3;
+    p.l2MergedNow.assign(p.l2.size(), 0);
+    p.l3MergedNow.assign(p.l3.size(), 0);
+
+    const auto gate = [&](const char *phase) {
+        if (in.phaseCheck && in.phaseCheck(p.l2, p.l3, phase)) {
+            p.abandonedPhase = phase;
+            return true;
+        }
+        return false;
+    };
+
+    if (config_.conflict == ConflictPolicy::MergeAggressive) {
+        doL3Merges(in, p);
+        if (gate("L3 merge phase"))
+            return p;
+        doL2Merges(in, p);
+        if (gate("L2 merge phase"))
+            return p;
+        doL2Splits(in, p);
+        if (gate("L2 split phase"))
+            return p;
+        doL3Splits(in, p);
+        gate("L3 split phase");
+        return p;
+    }
+    doL2Splits(in, p);
+    if (gate("L2 split phase"))
+        return p;
+    doL3Splits(in, p);
+    if (gate("L3 split phase"))
+        return p;
+    doL3Merges(in, p);
+    if (gate("L3 merge phase"))
+        return p;
+    doL2Merges(in, p);
+    gate("L2 merge phase");
+    return p;
+}
+
+void
+MorphController::replayProposal(const TransitionProposal &p)
+{
+    for (const ProposalEvent &ev : p.events) {
+        switch (ev.kind) {
+          case ProposalEvent::Kind::L3Merge:
+            ++stats_.merges;
+            countMergeCondition(ev.merge);
+            traceMerge("l3", ev, msatL3Now_);
+            break;
+          case ProposalEvent::Kind::L2Merge:
+            ++stats_.merges;
+            countMergeCondition(ev.merge);
+            traceMerge("l2", ev, msatNow_);
+            break;
+          case ProposalEvent::Kind::ForcedL3Merge:
+            ++stats_.merges;
+            ++stats_.mergesForced;
+            traceForcedMerge(ev);
+            break;
+          case ProposalEvent::Kind::L2Split:
+            ++stats_.splits;
+            traceSplit("l2", ev, msatNow_, false);
+            break;
+          case ProposalEvent::Kind::L3Split:
+            ++stats_.splits;
+            traceSplit("l3", ev, msatL3Now_, false);
+            break;
+          case ProposalEvent::Kind::ForcedL2Split:
+            ++stats_.splits;
+            ++stats_.splitsForced;
+            traceSplit("l2", ev, msatNow_, true);
+            break;
+        }
+        if (ev.asymmetric)
+            ++stats_.asymmetricOutcomes;
+    }
+}
+
 void
 MorphController::epochBoundary(Hierarchy &hierarchy)
 {
@@ -729,70 +866,65 @@ MorphController::epochBoundary(Hierarchy &hierarchy)
     if (config_.qosThrottling)
         throttleMsat(hierarchy);
 
-    DecisionState st;
-    st.l2 = hierarchy.topology().l2;
-    st.l3 = hierarchy.topology().l3;
-    st.l2MergedNow.assign(st.l2.size(), 0);
-    st.l3MergedNow.assign(st.l3.size(), 0);
-
     const CacheLevelModel &l2 = hierarchy.l2();
     const CacheLevelModel &l3 = hierarchy.l3();
 
-    traceClassification("l2", l2, st.l2, msatNow_);
-    traceClassification("l3", l3, st.l3, msatL3Now_);
+    traceClassification("l2", l2, hierarchy.topology().l2, msatNow_);
+    traceClassification("l3", l3, hierarchy.topology().l3,
+                        msatL3Now_);
 
-    const bool phases_ok = [&]() {
-        if (config_.conflict == ConflictPolicy::MergeAggressive) {
-            doL3Merges(l3, st);
-            if (checkDecision(st, "L3 merge phase"))
-                return false;
-            doL2Merges(l2, l3, st);
-            if (checkDecision(st, "L2 merge phase"))
-                return false;
-            doL2Splits(l2, st);
-            if (checkDecision(st, "L2 split phase"))
-                return false;
-            doL3Splits(l3, l2, st);
-            return !checkDecision(st, "L3 split phase");
-        }
-        doL2Splits(l2, st);
-        if (checkDecision(st, "L2 split phase"))
-            return false;
-        doL3Splits(l3, l2, st);
-        if (checkDecision(st, "L3 split phase"))
-            return false;
-        doL3Merges(l3, st);
-        if (checkDecision(st, "L3 merge phase"))
-            return false;
-        doL2Merges(l2, l3, st);
-        return !checkDecision(st, "L2 merge phase");
-    }();
-    if (!phases_ok) {
+    const CacheLevelSignals l2_signals(l2);
+    const CacheLevelSignals l3_signals(l3);
+    DecisionInputs in;
+    in.l2 = &l2_signals;
+    in.l3 = &l3_signals;
+    in.msatL2 = msatNow_;
+    in.msatL3 = msatL3Now_;
+    in.decisionIndex = stats_.decisions;
+    in.l2MergeStamps = &l2MergeStamp_;
+    in.l3MergeStamps = &l3MergeStamp_;
+    in.faults = faultInjector();
+    in.phaseCheck = [this](const Partition &l2_part,
+                           const Partition &l3_part,
+                           const char *phase) {
+        return checkDecision(l2_part, l3_part, phase);
+    };
+    in.provenance = tracer_ && tracer_->enabled();
+
+    TransitionProposal proposal =
+        proposeTransition(hierarchy.topology(), in);
+    // The pure decision is over; land its effects: activity
+    // counters and provenance traces, in decision order. Abandoned
+    // proposals keep the events decided before the failing phase,
+    // exactly as the counters accumulated them historically.
+    replayProposal(proposal);
+
+    if (proposal.abandoned()) {
         handleViolation(hierarchy, true);
         hierarchy.resetFootprints();
         return;
     }
 
-    mergedLastEpoch_ = st.merges > 0;
+    mergedLastEpoch_ = proposal.merges > 0;
 
     // Stamp freshly merged groups for the split hysteresis.
-    for (std::size_t g = 0; g < st.l2.size(); ++g) {
-        if (st.l2MergedNow[g]) {
-            for (SliceId s : st.l2[g])
+    for (std::size_t g = 0; g < proposal.l2.size(); ++g) {
+        if (proposal.l2MergedNow[g]) {
+            for (SliceId s : proposal.l2[g])
                 l2MergeStamp_[s] = stats_.decisions;
         }
     }
-    for (std::size_t g = 0; g < st.l3.size(); ++g) {
-        if (st.l3MergedNow[g]) {
-            for (SliceId s : st.l3[g])
+    for (std::size_t g = 0; g < proposal.l3.size(); ++g) {
+        if (proposal.l3MergedNow[g]) {
+            for (SliceId s : proposal.l3[g])
                 l3MergeStamp_[s] = stats_.decisions;
         }
     }
 
     Topology topo;
     topo.numCores = numCores_;
-    topo.l2 = std::move(st.l2);
-    topo.l3 = std::move(st.l3);
+    topo.l2 = std::move(proposal.l2);
+    topo.l3 = std::move(proposal.l3);
 
     // Injected controller fault: corrupt the finished proposal into
     // an illegal shape before it reaches the reconfiguration engine.
@@ -828,8 +960,8 @@ MorphController::epochBoundary(Hierarchy &hierarchy)
             TraceEvent ev("topology");
             ev.u64("l2Groups", now.l2.size())
                 .u64("l3Groups", now.l3.size())
-                .u64("merges", st.merges)
-                .u64("splits", st.splits)
+                .u64("merges", proposal.merges)
+                .u64("splits", proposal.splits)
                 .u64("symmetric", now.isSymmetric() ? 1 : 0);
             tracer_->emit(ev);
         }

@@ -34,25 +34,12 @@
 #include "check/invariant.hh"
 #include "hierarchy/hierarchy.hh"
 #include "hierarchy/topology.hh"
+#include "morph/proposal.hh"
 
 namespace morphcache {
 
 class StatsRegistry;
 class Tracer;
-
-/**
- * Merge/Split Aggressiveness Threshold (Section 2.2).
- *
- * The paper's value (60, 30) is a bit-count bound on 128-bit
- * ACFVs; expressed as set-bit fractions that is (60/128, 30/128).
- */
-struct MsatConfig
-{
-    /** Utilization above which a group counts as highly utilized. */
-    double high = 60.0 / 128.0;
-    /** Utilization below which a group counts as under-utilized. */
-    double low = 30.0 / 128.0;
-};
 
 /** Arbitration between conflicting split and merge opportunities. */
 enum class ConflictPolicy : std::uint8_t {
@@ -229,6 +216,19 @@ class MorphController
      */
     void epochBoundary(Hierarchy &hierarchy);
 
+    /**
+     * The pure decision function: compute the topology transition
+     * this controller would propose from `current` under the given
+     * classification signals — without mutating the controller, the
+     * hierarchy, or any counters. `epochBoundary()` calls this and
+     * replays the returned events into the activity counters and the
+     * tracer; the static model checker (src/check/model_checker.hh)
+     * calls it directly on synthetic signals to enumerate every
+     * decision the engine can make.
+     */
+    TransitionProposal proposeTransition(const Topology &current,
+                                         const DecisionInputs &in) const;
+
     /** Activity counters. */
     const ReconfigStats &stats() const { return stats_; }
 
@@ -291,62 +291,25 @@ class MorphController
     std::string robustnessReport() const;
 
   private:
-    /** Working copy of the topology during one epoch decision. */
-    struct DecisionState
-    {
-        Partition l2;
-        Partition l3;
-        /** Parallel flags: group was formed by a merge this epoch. */
-        std::vector<char> l2MergedNow;
-        std::vector<char> l3MergedNow;
-        std::uint64_t merges = 0;
-        std::uint64_t splits = 0;
-    };
-
-    /** Why a merge was (un)desirable, with the ACF evidence. */
-    struct MergeEval
-    {
-        bool desirable = false;
-        /**
-         * 0 = none; 1 = condition (i) capacity sharing; 2 =
-         * condition (ii) data sharing; 3 = injected classification
-         * fault inverted the decision.
-         */
-        int condition = 0;
-        double utilA = 0.0;
-        double utilB = 0.0;
-        double overlap = 0.0;
-    };
-
-    /** Split evidence: the two halves' utilizations and overlap. */
-    struct SplitEval
-    {
-        bool desirable = false;
-        bool faultInverted = false;
-        double utilFirst = 0.0;
-        double utilSecond = 0.0;
-        double overlap = 0.0;
-    };
-
-    MergeEval evaluateMerge(const CacheLevelModel &level,
+    MergeEval evaluateMerge(const LevelSignals &level,
                             const MsatConfig &msat,
                             const std::vector<SliceId> &a,
-                            const std::vector<SliceId> &b) const;
-    SplitEval evaluateSplit(const CacheLevelModel &level,
+                            const std::vector<SliceId> &b,
+                            FaultInjector *faults) const;
+    SplitEval evaluateSplit(const LevelSignals &level,
                             const MsatConfig &msat,
-                            const std::vector<SliceId> &group) const;
+                            const std::vector<SliceId> &group,
+                            FaultInjector *faults) const;
 
     /** Count a merge by its justifying condition. */
     void countMergeCondition(const MergeEval &eval);
 
     /** Emit one accepted merge/split provenance event. */
-    void traceMerge(const char *level, const MergeEval &eval,
-                    const MsatConfig &msat,
-                    const std::vector<SliceId> &a,
-                    const std::vector<SliceId> &b);
-    void traceSplit(const char *level, const SplitEval &eval,
-                    const MsatConfig &msat,
-                    const std::vector<SliceId> &group, bool forced);
+    void traceMerge(const char *level, const ProposalEvent &event,
+                    const MsatConfig &msat);
+    void traceForcedMerge(const ProposalEvent &event);
+    void traceSplit(const char *level, const ProposalEvent &event,
+                    const MsatConfig &msat, bool forced);
 
     /** Emit per-group MSAT classification events for one level. */
     void traceClassification(const char *level,
@@ -356,7 +319,7 @@ class MorphController
 
     /** Structural check: may groups a and b merge at all? */
     bool mergeAllowed(const std::vector<SliceId> &a,
-                      const std::vector<SliceId> &b) const;
+                      const std::vector<SliceId> &b, RuleBug bug) const;
 
     /** Split a group into its two halves. */
     static void splitGroup(const std::vector<SliceId> &group,
@@ -364,18 +327,27 @@ class MorphController
                            std::vector<SliceId> &second);
 
     /** L3 merges are always inclusion-safe (Section 2.2). */
-    void doL3Merges(const CacheLevelModel &l3, DecisionState &st);
+    void doL3Merges(const DecisionInputs &in,
+                    TransitionProposal &p) const;
     /** L2 merges, forcing covering L3 merges where required. */
-    void doL2Merges(const CacheLevelModel &l2,
-                    const CacheLevelModel &l3, DecisionState &st);
+    void doL2Merges(const DecisionInputs &in,
+                    TransitionProposal &p) const;
     /** L2 splits are always inclusion-safe (Section 2.3). */
-    void doL2Splits(const CacheLevelModel &l2, DecisionState &st);
+    void doL2Splits(const DecisionInputs &in,
+                    TransitionProposal &p) const;
     /** L3 splits, requiring straddling L2 groups to split too. */
-    void doL3Splits(const CacheLevelModel &l3,
-                    const CacheLevelModel &l2, DecisionState &st);
+    void doL3Splits(const DecisionInputs &in,
+                    TransitionProposal &p) const;
 
-    /** Count one merge/split event and its (a)symmetry outcome. */
-    void noteEvent(const DecisionState &st, bool merge);
+    /** Is the proposal's current topology asymmetric (Section 2.4)? */
+    bool outcomeAsymmetric(const TransitionProposal &p) const;
+
+    /**
+     * Replay a finished proposal's events into the activity
+     * counters and the provenance tracer — the only place decision
+     * effects land, now that the decision itself is pure.
+     */
+    void replayProposal(const TransitionProposal &p);
 
     /** QoS MSAT throttling from per-core miss deltas (Section 5.3). */
     void throttleMsat(const Hierarchy &hierarchy);
@@ -388,7 +360,8 @@ class MorphController
      * phase). @return true when a violation fired (decision must
      * be abandoned).
      */
-    bool checkDecision(const DecisionState &st, const char *phase);
+    bool checkDecision(const Partition &l2, const Partition &l3,
+                       const char *phase);
 
     /** React to a detected violation according to the policy. */
     void handleViolation(Hierarchy &hierarchy, bool dropped_proposal);

@@ -225,7 +225,8 @@ CoreRefGenerator::next()
         shared = lastShared_;
         ring_[ringNext_] = line;
         ringShared_[ringNext_] = shared;
-        ringNext_ = (ringNext_ + 1) % ring_.size();
+        ringNext_ = static_cast<std::uint32_t>((ringNext_ + 1) %
+                                               ring_.size());
     }
     MemAccess access;
     access.core = core_;

@@ -211,8 +211,8 @@ TEST(Controller, Pow2AlignmentRespectedByDefault)
     // between them.
     touchFootprint(h, 1, 0.80);
     touchFootprint(h, 2, 0.05);
-    for (CoreId c : {0, 3, 4, 5, 6, 7})
-        touchFootprint(h, c, 0.35);
+    for (int c : {0, 3, 4, 5, 6, 7})
+        touchFootprint(h, static_cast<CoreId>(c), 0.35);
 
     ctrl.epochBoundary(h);
     EXPECT_NE(h.l2().groupOf(1), h.l2().groupOf(2));
@@ -227,8 +227,8 @@ TEST(Controller, ArbitraryGroupSizesExtension)
 
     touchFootprint(h, 1, 0.80);
     touchFootprint(h, 2, 0.05);
-    for (CoreId c : {0, 3, 4, 5, 6, 7})
-        touchFootprint(h, c, 0.35);
+    for (int c : {0, 3, 4, 5, 6, 7})
+        touchFootprint(h, static_cast<CoreId>(c), 0.35);
 
     ctrl.epochBoundary(h);
     // Section 5.5: the misaligned neighbor pair may now merge.
@@ -245,8 +245,8 @@ TEST(Controller, NonNeighborExtensionMergesDistantPair)
 
     touchFootprint(h, 0, 0.80);
     touchFootprint(h, 7, 0.05);
-    for (CoreId c : {1, 2, 3, 4, 5, 6})
-        touchFootprint(h, c, 0.35);
+    for (int c : {1, 2, 3, 4, 5, 6})
+        touchFootprint(h, static_cast<CoreId>(c), 0.35);
 
     ctrl.epochBoundary(h);
     EXPECT_EQ(h.l2().groupOf(0), h.l2().groupOf(7));

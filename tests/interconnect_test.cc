@@ -148,6 +148,32 @@ TEST(SegmentedBus, PipelinedLatencyIs10Cycles)
     EXPECT_EQ(bus.transact(0, 0), 10u); // footnote 2
 }
 
+TEST(SegmentedBus, ShortPipelinedTxnCyclesDoNotWrap)
+{
+    // Regression: a pipelined bus with busCyclesPerTxn < 2 used to
+    // wrap the unsigned pipeline-overlap subtraction, so one
+    // transaction occupied ~2^32 CPU cycles (the max(1, ...) clamp
+    // ran after the wrap and kept the wrapped value).
+    BusParams params;
+    params.pipelined = true;
+    params.busCyclesPerTxn = 1;
+    EXPECT_EQ(params.txnCpuCycles(), params.cpuCyclesPerBusCycle);
+    EXPECT_EQ(params.requestCpuCycles(),
+              params.cpuCyclesPerBusCycle);
+
+    // Degenerate 0-cycle configs clamp to one bus cycle too.
+    params.busCyclesPerTxn = 0;
+    EXPECT_EQ(params.txnCpuCycles(), params.cpuCyclesPerBusCycle);
+    params.pipelined = false;
+    EXPECT_EQ(params.txnCpuCycles(), params.cpuCyclesPerBusCycle);
+    EXPECT_EQ(params.requestCpuCycles(),
+              params.cpuCyclesPerBusCycle);
+
+    // The paper's default 3-cycle transaction is unchanged.
+    EXPECT_EQ(BusParams{}.txnCpuCycles(), 15u);
+    EXPECT_EQ(BusParams{}.requestCpuCycles(), 10u);
+}
+
 TEST(SegmentedBus, ContentionQueues)
 {
     // Split-transaction (default): the second requester waits for

@@ -73,7 +73,7 @@ TEST(WorkloadDynamics, PhasesArePersistent)
     std::vector<bool> low;
     for (int e = 0; e < 400; ++e) {
         gen.beginEpoch(static_cast<EpochId>(e));
-        low.push_back(gen.hotLines() <
+        low.push_back(static_cast<double>(gen.hotLines()) <
                       0.6 * 0.62 * 1.25 * 512); // below ~phase line
     }
     int low_count = 0, runs = 0;

@@ -160,11 +160,11 @@ TEST(Generator, TemporalVariationFollowsSigma)
         double mean = 0.0;
         for (double s : sizes)
             mean += s;
-        mean /= sizes.size();
+        mean /= static_cast<double>(sizes.size());
         double var = 0.0;
         for (double s : sizes)
             var += (s - mean) * (s - mean);
-        return var / sizes.size();
+        return var / static_cast<double>(sizes.size());
     };
     EXPECT_GT(hot_stddev("hmmer"), 4.0 * hot_stddev("calculix"));
 }

@@ -1,0 +1,386 @@
+#!/usr/bin/env python3
+"""mc_lint -- MorphCache determinism & convention linter.
+
+Statically enforces the DESIGN.md section 9 determinism contract and
+the repo's source conventions over ``src/``:
+
+``determinism``
+    No ``rand()``/``srand()``/``std::random_device``, no libc
+    ``time()``/``clock()``, and no wall-clock reads
+    (``steady_clock``/``system_clock``/``high_resolution_clock``/
+    ``gettimeofday``/``clock_gettime``) in simulation code. Seeds are
+    functions of position (``sweepCellSeed``), never of schedule or
+    wall time; the only sanctioned wall-clock reader is the telemetry
+    profiler (``src/stats/profiler.hh``), which never feeds
+    simulation inputs.
+
+``globals``
+    No mutable file-scope state outside the sanctioned process-wide
+    registries (``src/common/logging.cc``). Shared mutable globals
+    are how -jN stops being -j1; everything else must live in a
+    per-cell object (DESIGN.md section 9 rule 2).
+
+``stats-bypass``
+    No direct stdout writes (``std::cout``, ``printf``,
+    ``fprintf(stdout, ...)``) in simulation code: every user-visible
+    counter flows through ``StatsRegistry`` (or the logging sink), so
+    stdout carries only schedule-independent bytes (DESIGN.md
+    section 9 rule 3).
+
+``includes``
+    Include hygiene: project includes are quoted ``src/``-relative
+    paths that resolve, headers carry a ``MORPHCACHE_<PATH>_HH``
+    guard matching their location, a ``.cc`` includes its own header
+    first (proves the header is self-contained), and
+    ``<bits/stdc++.h>`` never appears.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on
+usage errors. Stdlib only; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Paths are repo-root-relative with forward slashes.
+DETERMINISM_ALLOW = {
+    # Telemetry-only steady_clock reads; relaxed-atomic counters that
+    # never feed simulation inputs (DESIGN.md section 9 rule 2).
+    "src/stats/profiler.hh",
+}
+GLOBALS_ALLOW = {
+    # Process-wide log level/sink: atomics + a dispatch mutex,
+    # carrying diagnostics only.
+    "src/common/logging.cc",
+}
+STATS_BYPASS_ALLOW: set[str] = set()
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"(?<![\w.:>])s?rand\s*\("), "libc rand()/srand()"),
+    (re.compile(r"std\s*::\s*random_device"), "std::random_device"),
+    # libc time()/clock(): match calls (std::-qualified, passing the
+    # time_t* argument, or zero-arg in expression position), not
+    # accessor declarations like "std::uint64_t time() const".
+    (re.compile(r"std\s*::\s*(time|clock)\s*\("), "libc time()/clock()"),
+    (re.compile(r"(?<![\w.:>~])(time|clock)\s*\(\s*(nullptr|NULL|&|0\s*\))"),
+     "libc time()/clock()"),
+    (re.compile(r"([-=+(,*/%<>!&|?]|\breturn\b)\s*(time|clock)\s*\(\s*\)"),
+     "libc time()/clock()"),
+    (re.compile(r"\b(steady_clock|system_clock|high_resolution_clock)\b"),
+     "wall-clock read"),
+    (re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\s*\("),
+     "wall-clock read"),
+]
+
+STATS_BYPASS_PATTERNS = [
+    (re.compile(r"std\s*::\s*cout\b"), "std::cout"),
+    (re.compile(r"(?<![\w.:>])printf\s*\("), "printf to stdout"),
+    (re.compile(r"\bfprintf\s*\(\s*stdout\b"), "fprintf(stdout, ...)"),
+    (re.compile(r"(?<![\w.:>])(puts|putchar)\s*\("), "stdout write"),
+]
+
+
+class Finding:
+    def __init__(self, path: str, line: int, check: str, message: str):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, keeping newlines
+    and column positions so findings carry real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # str / chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def check_determinism(path: str, code: str) -> list[Finding]:
+    if path in DETERMINISM_ALLOW:
+        return []
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for pattern, what in DETERMINISM_PATTERNS:
+            if pattern.search(line):
+                findings.append(Finding(
+                    path, lineno, "determinism",
+                    f"{what} in simulation code; derive values from "
+                    "seeds/cycles (DESIGN.md section 9)"))
+    return findings
+
+
+def check_stats_bypass(path: str, code: str) -> list[Finding]:
+    if path in STATS_BYPASS_ALLOW:
+        return []
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for pattern, what in STATS_BYPASS_PATTERNS:
+            if pattern.search(line):
+                findings.append(Finding(
+                    path, lineno, "stats-bypass",
+                    f"{what} bypasses StatsRegistry/logging; stdout "
+                    "must carry only registry-reported bytes"))
+    return findings
+
+
+# A namespace-scope statement that defines a mutable variable:
+# optional storage class, a type that is not const/constexpr, one
+# declarator, optional =/brace initializer. Function definitions and
+# declarations contain '(' and are excluded before matching.
+_DECL_EXCLUDE = re.compile(
+    r"^\s*(?:typedef|using|class|struct|union|enum|namespace|template|"
+    r"extern|friend|return|goto|case|default|public|private|protected|"
+    r"static_assert)\b")
+_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|thread_local\s+|inline\s+)*"
+    r"[A-Za-z_][\w:<>,\s*&]*?[\s*&]"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)*"
+    r"(?:=[^=]|\{|;)")
+
+
+def _statement_defines_mutable_global(stmt: str) -> str | None:
+    flat = " ".join(stmt.split())
+    if not flat or "(" in flat.split("=")[0].split("{")[0]:
+        return None  # functions, paren-init (none in this codebase)
+    if _DECL_EXCLUDE.match(flat):
+        return None
+    if re.search(r"\b(const|constexpr|constinit)\b", flat):
+        return None
+    m = _DECL_RE.match(flat + ";")
+    return m.group("name") if m else None
+
+
+def check_globals(path: str, code: str) -> list[Finding]:
+    if path in GLOBALS_ALLOW:
+        return []
+    findings = []
+    stack: list[str] = []  # 'ns' | 'type' | 'func' | 'init'
+    stmt = []
+    stmt_line = 1
+    lineno = 1
+    for c in code:
+        if c == "\n":
+            lineno += 1
+        if c == "{":
+            frag = "".join(stmt)
+            if re.search(r"\bnamespace\b[^;{}]*$", frag):
+                kind = "ns"
+            elif re.search(r"\b(class|struct|union|enum)\b[^;{}()]*$",
+                           frag):
+                kind = "type"
+            elif "(" in frag:
+                kind = "func"
+            else:
+                kind = "init"  # brace initializer of a declarator
+            stack.append(kind)
+            if kind != "init":
+                stmt = []
+                stmt_line = lineno
+            else:
+                stmt.append(c)
+            continue
+        if c == "}":
+            kind = stack.pop() if stack else "ns"
+            if kind == "init":
+                stmt.append(c)
+            else:
+                stmt = []
+                stmt_line = lineno
+            continue
+        at_ns_scope = all(k == "ns" for k in stack)
+        in_init = stack and stack[-1] == "init"
+        if not at_ns_scope and not (in_init and
+                                    all(k == "ns"
+                                        for k in stack[:-1])):
+            continue
+        if c == ";" and not in_init:
+            name = _statement_defines_mutable_global("".join(stmt))
+            if name:
+                findings.append(Finding(
+                    path, stmt_line, "globals",
+                    f"mutable file-scope variable '{name}'; move it "
+                    "into a per-cell object or a sanctioned registry "
+                    "(DESIGN.md section 9 rule 2)"))
+            stmt = []
+            stmt_line = lineno
+            continue
+        if not stmt and c.isspace():
+            stmt_line = lineno
+            continue
+        stmt.append(c)
+    return findings
+
+
+_GUARD_CHARS = re.compile(r"[^A-Z0-9]")
+
+
+def expected_guard(path: str) -> str:
+    rel = path[len("src/"):] if path.startswith("src/") else path
+    return "MORPHCACHE_" + _GUARD_CHARS.sub("_", rel.upper())
+
+
+def check_includes(path: str, raw: str, repo_root: str) -> list[Finding]:
+    findings = []
+    lines = raw.splitlines()
+    quoted = []  # (lineno, target)
+    for lineno, line in enumerate(lines, 1):
+        m = re.match(r'\s*#\s*include\s+(["<])([^">]+)[">]', line)
+        if not m:
+            continue
+        kind, target = m.groups()
+        if target == "bits/stdc++.h":
+            findings.append(Finding(
+                path, lineno, "includes",
+                "<bits/stdc++.h> is non-standard and bans IWYU"))
+            continue
+        if kind == '"':
+            quoted.append((lineno, target))
+            if not os.path.isfile(
+                    os.path.join(repo_root, "src", target)):
+                findings.append(Finding(
+                    path, lineno, "includes",
+                    f'"{target}" does not resolve under src/ '
+                    "(project includes are src/-relative)"))
+
+    if path.endswith(".hh"):
+        guard = expected_guard(path)
+        m = re.search(r"^\s*#\s*ifndef\s+(\S+)\s*\n\s*#\s*define\s+(\S+)",
+                      raw, re.M)
+        if not m or m.group(1) != guard or m.group(2) != guard:
+            findings.append(Finding(
+                path, 1, "includes",
+                f"header guard must be '{guard}' "
+                "(#ifndef/#define pair)"))
+    elif path.endswith(".cc"):
+        own = path[len("src/"):-len(".cc")] + ".hh"
+        if os.path.isfile(os.path.join(repo_root, "src", own)):
+            if not quoted or quoted[0][1] != own:
+                findings.append(Finding(
+                    path, quoted[0][0] if quoted else 1, "includes",
+                    f'first include must be "{own}" (own header '
+                    "first proves it is self-contained)"))
+    return findings
+
+
+def lint_file(path: str, repo_root: str) -> list[Finding]:
+    with open(os.path.join(repo_root, path), encoding="utf-8") as f:
+        raw = f.read()
+    code = strip_comments_and_strings(raw)
+    findings = []
+    findings += check_determinism(path, code)
+    findings += check_globals(path, code)
+    findings += check_stats_bypass(path, code)
+    findings += check_includes(path, raw, repo_root)
+    return findings
+
+
+def collect_sources(repo_root: str, roots: list[str]) -> list[str]:
+    sources = []
+    for root in roots:
+        absolute = os.path.join(repo_root, root)
+        if os.path.isfile(absolute):
+            sources.append(root)
+            continue
+        for dirpath, _, names in sorted(os.walk(absolute)):
+            for name in sorted(names):
+                if name.endswith((".cc", ".hh")):
+                    rel = os.path.relpath(
+                        os.path.join(dirpath, name), repo_root)
+                    sources.append(rel.replace(os.sep, "/"))
+    return sources
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mc_lint.py",
+        description="MorphCache determinism & convention linter")
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint, repo-root-relative "
+             "(default: src)")
+    parser.add_argument(
+        "--repo-root",
+        default=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line")
+    args = parser.parse_args(argv)
+
+    sources = collect_sources(args.repo_root,
+                              args.paths or ["src"])
+    if not sources:
+        print("mc_lint: no sources found", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in sources:
+        findings += lint_file(path, args.repo_root)
+
+    for finding in findings:
+        print(finding)
+    if not args.quiet:
+        print(f"mc_lint: {len(sources)} files, "
+              f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
