@@ -18,11 +18,13 @@
 #ifndef MORPHCACHE_ACF_ACFV_HH
 #define MORPHCACHE_ACF_ACFV_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
 
 #include "acf/hash.hh"
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace morphcache {
@@ -82,6 +84,29 @@ class Acfv
     /** Raw word storage (for OR-aggregation across vectors). */
     const std::vector<std::uint64_t> &words() const { return words_; }
 
+    /** Serialize bits; geometry is construction-time and verified. */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64(numBits_);
+        w.u64(static_cast<std::uint64_t>(kind_));
+        w.u64Vec(words_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        r.expectU64("ACFV bit count", numBits_);
+        r.expectU64("ACFV hash kind",
+                    static_cast<std::uint64_t>(kind_));
+        std::vector<std::uint64_t> words = r.u64Vec();
+        if (words.size() != words_.size())
+            r.fail("ACFV word count mismatch: expected " +
+                   std::to_string(words_.size()) + ", found " +
+                   std::to_string(words.size()));
+        words_ = std::move(words);
+    }
+
   private:
     std::uint32_t numBits_;
     HashKind kind_;
@@ -108,6 +133,28 @@ class OracleAcf
 
     /** Number of distinct active lines. */
     std::uint64_t size() const { return lines_.size(); }
+
+    /**
+     * Serialize the line set as a *sorted* list so the encoding is
+     * independent of unordered_set iteration order (checkpoint bytes
+     * must be deterministic for the resume≡uninterrupted contract).
+     */
+    void
+    saveState(CkptWriter &w) const
+    {
+        std::vector<std::uint64_t> sorted(lines_.begin(),
+                                          lines_.end());
+        std::sort(sorted.begin(), sorted.end());
+        w.u64Vec(sorted);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        const std::vector<std::uint64_t> sorted = r.u64Vec();
+        lines_.clear();
+        lines_.insert(sorted.begin(), sorted.end());
+    }
 
   private:
     std::unordered_set<Addr> lines_;

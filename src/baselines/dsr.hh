@@ -54,6 +54,34 @@ class DsrPolicy : public LevelHooks
     /** Spills performed so far. */
     std::uint64_t numSpills() const { return spills_; }
 
+    /** Serialize PSEL counters + spill rotor. */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64(psel_.size());
+        for (int p : psel_)
+            w.u64(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(p)));
+        w.u64(rotor_);
+        w.u64(spills_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        r.expectU64("PSEL counter count", psel_.size());
+        for (int &p : psel_) {
+            const auto v =
+                static_cast<std::int64_t>(r.u64());
+            if (v < -pselMax || v > pselMax)
+                r.fail("PSEL value " + std::to_string(v) +
+                       " outside +-" + std::to_string(pselMax));
+            p = static_cast<int>(v);
+        }
+        rotor_ = static_cast<std::uint32_t>(r.u64());
+        spills_ = r.u64();
+    }
+
   private:
     enum class SetRole : std::uint8_t { Follower, SpillLeader,
                                         ReceiveLeader };
@@ -87,6 +115,22 @@ class DsrSystem : public MemorySystem
     const CoreStats &coreStats(CoreId core) const override;
     std::uint32_t numCores() const override;
     std::string name() const override { return "DSR"; }
+
+    void
+    saveState(CkptWriter &w) const override
+    {
+        hierarchy_.saveState(w);
+        l2Policy_.saveState(w);
+        l3Policy_.saveState(w);
+    }
+
+    void
+    loadState(CkptReader &r) override
+    {
+        hierarchy_.loadState(r);
+        l2Policy_.loadState(r);
+        l3Policy_.loadState(r);
+    }
 
     /** L2 policy (tests). */
     DsrPolicy &l2Policy() { return l2Policy_; }

@@ -54,6 +54,34 @@ class UtilityMonitor
     /** Epoch decay: halve all counters. */
     void decay();
 
+    /** Serialize ATD stacks + hit counters. */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64(stacks_.size());
+        for (const std::vector<Addr> &stack : stacks_)
+            w.u64Vec(stack);
+        w.u64Vec(hits_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        r.expectU64("UMON stack count", stacks_.size());
+        for (std::vector<Addr> &stack : stacks_) {
+            std::vector<Addr> loaded = r.u64Vec();
+            if (loaded.size() > totalWays_)
+                r.fail("UMON stack depth " +
+                       std::to_string(loaded.size()) +
+                       " exceeds group ways");
+            stack = std::move(loaded);
+        }
+        std::vector<std::uint64_t> hits = r.u64Vec();
+        if (hits.size() != hits_.size())
+            r.fail("UMON hit-counter size mismatch");
+        hits_ = std::move(hits);
+    }
+
   private:
     std::uint64_t numSets_;
     std::uint32_t totalWays_;
@@ -103,6 +131,30 @@ class PippPolicy : public LevelHooks
     /** Current allocation of one core (tests). */
     std::uint32_t allocation(CoreId core) const;
 
+    /** Serialize promotion coin + monitors + allocations. */
+    void
+    saveState(CkptWriter &w) const
+    {
+        rng_.saveState(w);
+        w.u64(monitors_.size());
+        for (const UtilityMonitor &monitor : monitors_)
+            monitor.saveState(w);
+        w.u32Vec(alloc_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        rng_.loadState(r);
+        r.expectU64("UMON monitor count", monitors_.size());
+        for (UtilityMonitor &monitor : monitors_)
+            monitor.loadState(r);
+        std::vector<std::uint32_t> alloc = r.u32Vec();
+        if (alloc.size() != alloc_.size())
+            r.fail("PIPP allocation size mismatch");
+        alloc_ = std::move(alloc);
+    }
+
   private:
     std::uint32_t totalWays_;
     double promotionProb_;
@@ -134,6 +186,22 @@ class PippSystem : public MemorySystem
     const CoreStats &coreStats(CoreId core) const override;
     std::uint32_t numCores() const override;
     std::string name() const override { return "PIPP"; }
+
+    void
+    saveState(CkptWriter &w) const override
+    {
+        hierarchy_.saveState(w);
+        l2Policy_.saveState(w);
+        l3Policy_.saveState(w);
+    }
+
+    void
+    loadState(CkptReader &r) override
+    {
+        hierarchy_.loadState(r);
+        l2Policy_.loadState(r);
+        l3Policy_.loadState(r);
+    }
 
     /** L2 policy (tests). */
     PippPolicy &l2Policy() { return l2Policy_; }

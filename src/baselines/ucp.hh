@@ -58,6 +58,39 @@ class UcpPolicy : public LevelHooks
     /** Current quota of one core. */
     std::uint32_t quota(CoreId core) const;
 
+    /** Serialize monitors + quotas + line-ownership sidecar. */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64(monitors_.size());
+        for (const UtilityMonitor &monitor : monitors_)
+            monitor.saveState(w);
+        w.u32Vec(quota_);
+        w.u64(owner_.size());
+        for (CoreId owner : owner_)
+            w.u32(owner);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        r.expectU64("UCP monitor count", monitors_.size());
+        for (UtilityMonitor &monitor : monitors_)
+            monitor.loadState(r);
+        std::vector<std::uint32_t> quota = r.u32Vec();
+        if (quota.size() != quota_.size())
+            r.fail("UCP quota size mismatch");
+        quota_ = std::move(quota);
+        r.expectU64("UCP owner-table size", owner_.size());
+        for (CoreId &owner : owner_) {
+            const std::uint32_t v = r.u32();
+            if (v >= numCores_ && v != invalidCore)
+                r.fail("UCP line owner " + std::to_string(v) +
+                       " out of range");
+            owner = static_cast<CoreId>(v);
+        }
+    }
+
   private:
     /** Sidecar index of (slice, set, way). */
     std::size_t ownerIndex(SliceId slice, std::uint64_t set,
@@ -87,6 +120,22 @@ class UcpSystem : public MemorySystem
     const CoreStats &coreStats(CoreId core) const override;
     std::uint32_t numCores() const override;
     std::string name() const override { return "UCP"; }
+
+    void
+    saveState(CkptWriter &w) const override
+    {
+        hierarchy_.saveState(w);
+        l2Policy_.saveState(w);
+        l3Policy_.saveState(w);
+    }
+
+    void
+    loadState(CkptReader &r) override
+    {
+        hierarchy_.loadState(r);
+        l2Policy_.loadState(r);
+        l3Policy_.loadState(r);
+    }
 
     /** L2 policy (tests). */
     UcpPolicy &l2Policy() { return l2Policy_; }

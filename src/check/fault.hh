@@ -126,6 +126,33 @@ class FaultInjector : public BusFaultHook
     const FaultStats &stats() const { return stats_; }
     const FaultConfig &config() const { return config_; }
 
+    /** Serialize PRNG streams + counters (config is immutable). */
+    void
+    saveState(CkptWriter &w) const
+    {
+        epochRng_.saveState(w);
+        busRng_.saveState(w);
+        w.u64(stats_.acfvBitFlips);
+        w.u64(stats_.classificationFlips);
+        w.u64(stats_.illegalTopologies);
+        w.u64(stats_.busDrops);
+        w.u64(stats_.busDelays);
+        w.u64(stats_.busFaultCycles);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        epochRng_.loadState(r);
+        busRng_.loadState(r);
+        stats_.acfvBitFlips = r.u64();
+        stats_.classificationFlips = r.u64();
+        stats_.illegalTopologies = r.u64();
+        stats_.busDrops = r.u64();
+        stats_.busDelays = r.u64();
+        stats_.busFaultCycles = r.u64();
+    }
+
   private:
     FaultConfig config_;
     /** Epoch-granularity fault stream. */

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serial.hh"
 #include "hierarchy/topology.hh"
 
 namespace morphcache {
@@ -172,6 +173,25 @@ class InvariantChecker
                 const std::vector<Violation> &violations);
 
     const CheckStats &stats() const { return stats_; }
+
+    /** Serialize activity counters (policy is construction-time). */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64(stats_.checksRun);
+        w.u64(stats_.violations);
+        for (std::uint64_t count : stats_.byKind)
+            w.u64(count);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        stats_.checksRun = r.u64();
+        stats_.violations = r.u64();
+        for (std::uint64_t &count : stats_.byKind)
+            count = r.u64();
+    }
 
   private:
     CheckPolicy policy_;

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Checkpoint/restore of complete simulator state.
+ *
+ * A checkpoint is one binary file capturing everything a run needs
+ * to resume bit-exactly: cache slice contents and replacement
+ * state, ACFV bit vectors, controller partitions / hysteresis /
+ * quarantine state, segmented-bus occupancy, RNG streams and
+ * workload cursors, simulation progress, the stats-registry
+ * snapshot history, and the tracer position. The determinism
+ * contract: a run restored from a checkpoint produces byte-identical
+ * stdout, stats JSON/CSV, and JSONL trace output to the same-seed
+ * run that was never interrupted.
+ *
+ * File layout (all little-endian):
+ *
+ *   "MCKP"            4-byte magic
+ *   u32  version      ckptVersion
+ *   u64  specHash     FNV-1a of describe(RunSpec)
+ *   u64  seed         RunSpec seed (not part of the hash)
+ *   u64  epochsDone   recorded epochs completed
+ *   sections          4-byte tag + u64 length + payload:
+ *     'SPEC'  the RunSpec itself (self-describing checkpoints)
+ *     'WKLD'  workload cursor + RNG streams
+ *     'SYST'  memory system (hierarchy, policies, controller)
+ *     'SIMU'  simulation progress (clocks, recorded metrics)
+ *     'REGY'  stats-registry snapshot history (optional)
+ *     'TRCE'  tracer sequence + trace-file byte offset (optional)
+ *   u64  checksum     FNV-1a of every preceding byte
+ *
+ * The checksum is verified *before* any parsing, so every bit flip
+ * anywhere in the file surfaces as a typed CkptError, never as
+ * silently divergent restored state. Writes go through the atomic
+ * write-then-rename primitive, and the previous checkpoint is kept
+ * as `<path>.prev`, giving restore a one-deep fallback chain.
+ */
+
+#ifndef MORPHCACHE_CKPT_CKPT_HH
+#define MORPHCACHE_CKPT_CKPT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/run_spec.hh"
+#include "sim/memory_system.hh"
+#include "sim/simulation.hh"
+#include "stats/registry.hh"
+#include "stats/tracing.hh"
+#include "workload/generator.hh"
+
+namespace morphcache {
+
+/** Current checkpoint format version. */
+constexpr std::uint32_t ckptVersion = 1;
+
+/** The live objects a checkpoint serializes or restores. */
+struct CkptRunState
+{
+    Simulation *simulation = nullptr;
+    MemorySystem *system = nullptr;
+    Workload *workload = nullptr;
+    /** Optional: snapshot history travels with the checkpoint. */
+    StatsRegistry *registry = nullptr;
+    /** Optional: event numbering resumes where it stopped. */
+    Tracer *tracer = nullptr;
+    /** JSONL trace-file byte offset at checkpoint time. */
+    std::uint64_t traceByteOffset = 0;
+};
+
+/**
+ * Write a checkpoint of `state` to `path` atomically. An existing
+ * checkpoint at `path` is first rotated to `<path>.prev`, so the
+ * chain always holds the last two consistent checkpoints.
+ */
+void writeCheckpoint(const std::string &path, const RunSpec &spec,
+                     const CkptRunState &state);
+
+/** What a restore reports back. */
+struct RestoreOutcome
+{
+    /** File the state was restored from (path or its .prev). */
+    std::string pathUsed;
+    /** True when the main file failed and .prev was used. */
+    bool usedFallback = false;
+    /** Recorded epochs the checkpoint had completed. */
+    std::uint64_t epochsCompleted = 0;
+    /** TRCE byte offset (0 when the checkpoint had no tracer). */
+    std::uint64_t traceByteOffset = 0;
+};
+
+/**
+ * Restore `state` from the checkpoint at `path`. Validates the
+ * trailing checksum before parsing and the version / spec-hash /
+ * seed binding before touching any component state; every failure
+ * is a CkptError naming the file, offset, and expected-vs-found
+ * values.
+ */
+RestoreOutcome readCheckpoint(const std::string &path,
+                              const RunSpec &spec,
+                              const CkptRunState &state);
+
+/**
+ * Restore from `path`, falling back to `<path>.prev` (with a logged
+ * recovery warning) when the main file is missing, corrupt, or
+ * truncated. Throws the *original* failure if neither loads.
+ */
+RestoreOutcome restoreCheckpointChain(const std::string &path,
+                                      const RunSpec &spec,
+                                      const CkptRunState &state);
+
+/** Header + section inventory of a checkpoint (inspector tool). */
+struct CkptInfo
+{
+    std::uint64_t fileSize = 0;
+    std::uint32_t version = 0;
+    std::uint64_t specHash = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t epochsCompleted = 0;
+    bool checksumOk = false;
+    /** Embedded run spec (from the SPEC section). */
+    RunSpec spec;
+    /** (tag, payload bytes) per section, in file order. */
+    std::vector<std::pair<std::string, std::uint64_t>> sections;
+};
+
+/**
+ * Parse the header and section table of `path` without restoring
+ * anything. Throws CkptError on checksum, magic, or structural
+ * failure.
+ */
+CkptInfo inspectCheckpoint(const std::string &path);
+
+/**
+ * Cooperative interrupt flag. Signal handlers call
+ * requestCkptInterrupt(); epoch loops poll ckptInterruptRequested()
+ * and shut down through the checkpoint/manifest flush path, exiting
+ * with ckptResumableExit.
+ */
+void requestCkptInterrupt();
+bool ckptInterruptRequested();
+void clearCkptInterrupt();
+
+/** Exit code of an interrupted-but-resumable run (EX_TEMPFAIL). */
+constexpr int ckptResumableExit = 75;
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_CKPT_CKPT_HH

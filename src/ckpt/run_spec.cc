@@ -1,0 +1,84 @@
+#include "ckpt/run_spec.hh"
+
+#include <cstdio>
+
+namespace morphcache {
+
+std::string
+describe(const RunSpec &spec)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "workload=%s scheme=%s cores=%u epochs=%u refs=%llu "
+        "paperScale=%d check=%s quarantine=%u injectSeed=%llu "
+        "injectAcfv=%u injectClass=%g injectIllegal=%g "
+        "injectBusDrop=%g injectBusDelay=%g",
+        spec.workload.c_str(), spec.scheme.c_str(), spec.cores,
+        spec.epochs, static_cast<unsigned long long>(spec.refs),
+        spec.paperScale ? 1 : 0, spec.checkPolicy.c_str(),
+        spec.quarantine,
+        static_cast<unsigned long long>(spec.faults.seed),
+        spec.faults.acfvFlipsPerEpoch,
+        spec.faults.classificationFlipChance,
+        spec.faults.illegalTopologyChance, spec.faults.busDropChance,
+        spec.faults.busDelayChance);
+    return buf;
+}
+
+std::uint64_t
+specHash(const RunSpec &spec)
+{
+    const std::string desc = describe(spec);
+    return fnv1a64(desc.data(), desc.size());
+}
+
+void
+saveSpec(CkptWriter &w, const RunSpec &spec)
+{
+    w.str(spec.workload);
+    w.str(spec.scheme);
+    w.u32(spec.cores);
+    w.u32(spec.epochs);
+    w.u64(spec.refs);
+    w.u64(spec.seed);
+    w.b(spec.paperScale);
+    w.str(spec.checkPolicy);
+    w.u32(spec.quarantine);
+    w.u64(spec.faults.seed);
+    w.u32(spec.faults.acfvFlipsPerEpoch);
+    w.f64(spec.faults.classificationFlipChance);
+    w.f64(spec.faults.illegalTopologyChance);
+    w.f64(spec.faults.busDropChance);
+    w.u64(spec.faults.busDropPenaltyCycles);
+    w.f64(spec.faults.busDelayChance);
+    w.u64(spec.faults.busDelayCycles);
+}
+
+RunSpec
+loadSpec(CkptReader &r)
+{
+    RunSpec spec;
+    spec.workload = r.str();
+    spec.scheme = r.str();
+    spec.cores = r.u32();
+    spec.epochs = r.u32();
+    spec.refs = r.u64();
+    spec.seed = r.u64();
+    spec.paperScale = r.b();
+    spec.checkPolicy = r.str();
+    spec.quarantine = r.u32();
+    spec.faults.seed = r.u64();
+    spec.faults.acfvFlipsPerEpoch = r.u32();
+    spec.faults.classificationFlipChance = r.f64();
+    spec.faults.illegalTopologyChance = r.f64();
+    spec.faults.busDropChance = r.f64();
+    spec.faults.busDropPenaltyCycles =
+        static_cast<std::uint32_t>(r.u64());
+    spec.faults.busDelayChance = r.f64();
+    spec.faults.busDelayCycles =
+        static_cast<std::uint32_t>(r.u64());
+    return spec;
+}
+
+} // namespace morphcache

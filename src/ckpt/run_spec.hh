@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Self-describing run specification embedded in every checkpoint.
+ *
+ * A RunSpec is everything needed to rebuild a simulation that a
+ * checkpoint can restore into: workload, scheme, geometry, epoch
+ * plan, seed, and robustness knobs. describe() renders it as the
+ * canonical one-line configuration description the CLI has always
+ * hashed into the `config=<hash>` reproducibility stamp; specHash()
+ * is the FNV-1a of that line and binds a checkpoint to its
+ * configuration — restoring under a different spec fails typed
+ * before any state is touched.
+ */
+
+#ifndef MORPHCACHE_CKPT_RUN_SPEC_HH
+#define MORPHCACHE_CKPT_RUN_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "check/fault.hh"
+#include "common/serial.hh"
+
+namespace morphcache {
+
+/** Complete description of one simulation run. */
+struct RunSpec
+{
+    /** Workload spec: mix:<1..12> | parsec:<name> | trace:<file>. */
+    std::string workload = "mix:8";
+    /** Scheme: morph | static:<x>:<y>:<z> | pipp | dsr | ucp. */
+    std::string scheme = "morph";
+    std::uint32_t cores = 16;
+    /** Recorded epochs. */
+    std::uint32_t epochs = 12;
+    /** References per core per epoch. */
+    std::uint64_t refs = 24000;
+    std::uint64_t seed = 42;
+    /** Table 3 capacities verbatim instead of fast scale. */
+    bool paperScale = false;
+    /** Invariant-check policy name (off|log|recover|abort). */
+    std::string checkPolicy = "off";
+    /** Clean epochs held in quarantine before re-adaptation. */
+    std::uint32_t quarantine = 4;
+    FaultConfig faults;
+};
+
+/**
+ * Canonical one-line description. Everything that changes simulated
+ * behaviour belongs here; the CLI hashes it into the registry meta
+ * and checkpoints hash it into their header.
+ */
+std::string describe(const RunSpec &spec);
+
+/** FNV-1a 64 over describe(spec). */
+std::uint64_t specHash(const RunSpec &spec);
+
+/** Serialize/restore a spec (the checkpoint's SPEC section). */
+void saveSpec(CkptWriter &w, const RunSpec &spec);
+RunSpec loadSpec(CkptReader &r);
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_CKPT_RUN_SPEC_HH

@@ -42,6 +42,18 @@ class TraceError : public SimError
     explicit TraceError(const std::string &what) : SimError(what) {}
 };
 
+/**
+ * A checkpoint failed validation (corrupt, truncated, wrong magic/
+ * version/config-hash) or could not be written. Same shape as
+ * TraceError: the message always carries the file and byte offset,
+ * and expected-vs-found values where a comparison failed.
+ */
+class CkptError : public SimError
+{
+  public:
+    explicit CkptError(const std::string &what) : SimError(what) {}
+};
+
 } // namespace morphcache
 
 #endif // MORPHCACHE_COMMON_ERROR_HH

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "common/logging.hh"
+#include "common/serial.hh"
 
 namespace morphcache {
 
@@ -90,6 +91,25 @@ class Rng
      * spare is cached).
      */
     double gaussian();
+
+    /** Serialize the full stream state (checkpoint/restore). */
+    void
+    saveState(CkptWriter &w) const
+    {
+        for (std::uint64_t word : state_)
+            w.u64(word);
+        w.b(haveSpare_);
+        w.f64(spare_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        for (auto &word : state_)
+            word = r.u64();
+        haveSpare_ = r.b();
+        spare_ = r.f64();
+    }
 
   private:
     static std::uint64_t

@@ -1,0 +1,53 @@
+#include "common/serial.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace morphcache {
+
+void
+atomicWriteFile(const std::string &path, const void *data,
+                std::size_t size)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file)
+        throw CkptError("'" + tmp + "': cannot open for writing: " +
+                        std::strerror(errno));
+    bool ok = size == 0 || std::fwrite(data, 1, size, file) == size;
+    ok = std::fflush(file) == 0 && ok;
+    ok = std::fclose(file) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw CkptError("'" + tmp + "': short write: " +
+                        std::strerror(errno));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw CkptError("'" + tmp + "': cannot rename to '" + path +
+                        "': " + std::strerror(errno));
+    }
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        throw CkptError("'" + path + "': cannot open: " +
+                        std::strerror(errno));
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[65536];
+    std::size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    const bool readError = std::ferror(file) != 0;
+    std::fclose(file);
+    if (readError)
+        throw CkptError("'" + path + "': read error: " +
+                        std::strerror(errno));
+    return bytes;
+}
+
+} // namespace morphcache

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Checkpoint serialization primitives.
+ *
+ * CkptWriter/CkptReader implement the byte-level encoding shared by
+ * every component's saveState()/loadState(): little-endian fixed
+ * width integers, doubles as their IEEE-754 bit pattern (bit-exact
+ * round-trips, no text formatting), strings and vectors as a u64
+ * count followed by elements. The writer accumulates into memory so
+ * the checkpoint file can be checksummed and written atomically in
+ * one shot; the reader is bounds-checked on every access and throws
+ * a typed CkptError carrying the file name and byte offset (same
+ * pattern as TraceReader in src/workload/trace.cc).
+ *
+ * atomicWriteFile() is the sanctioned durability primitive: write to
+ * `<path>.tmp`, flush, then std::rename() over the destination, so a
+ * crash mid-write leaves either the old file or the new one, never a
+ * torn hybrid. mc_lint's `atomic-write` rule enforces that src/ file
+ * writes go through it (or a sanctioned streaming sink).
+ */
+
+#ifndef MORPHCACHE_COMMON_SERIAL_HH
+#define MORPHCACHE_COMMON_SERIAL_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace morphcache {
+
+/** FNV-1a 64-bit over a byte range (checkpoint checksums). */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t size,
+        std::uint64_t hash = 0xcbf29ce484222325ULL)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/** Buffered little-endian checkpoint encoder. */
+class CkptWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    /** IEEE-754 bit pattern; round-trips exactly, including NaNs. */
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    void
+    bytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        buf_.insert(buf_.end(), p, p + size);
+    }
+
+    void
+    u64Vec(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (std::uint64_t x : v)
+            u64(x);
+    }
+
+    void
+    u32Vec(const std::vector<std::uint32_t> &v)
+    {
+        u64(v.size());
+        for (std::uint32_t x : v)
+            u32(x);
+    }
+
+    void
+    f64Vec(const std::vector<double> &v)
+    {
+        u64(v.size());
+        for (double x : v)
+            f64(x);
+    }
+
+    /**
+     * Open a tagged section: 4-byte tag + u64 length placeholder.
+     * Returns a token for endSection(), which patches the length.
+     * Sections let the inspector (tools/mc_ckpt.cc) report
+     * per-component sizes and let readers skip unknown sections.
+     */
+    std::size_t
+    beginSection(const char tag[4])
+    {
+        bytes(tag, 4);
+        const std::size_t at = buf_.size();
+        u64(0);
+        return at;
+    }
+
+    void
+    endSection(std::size_t token)
+    {
+        const std::uint64_t len = buf_.size() - (token + 8);
+        for (int i = 0; i < 8; ++i)
+            buf_[token + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(len >> (8 * i));
+    }
+
+    const std::vector<std::uint8_t> &buffer() const { return buf_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian checkpoint decoder. */
+class CkptReader
+{
+  public:
+    /**
+     * @param name File name (or other provenance) for error
+     *        messages; the reader does not own or open any file.
+     */
+    CkptReader(std::string name, const std::uint8_t *data,
+               std::size_t size)
+        : name_(std::move(name)), data_(data), size_(size)
+    {
+    }
+
+    CkptReader(std::string name, const std::vector<std::uint8_t> &buf)
+        : CkptReader(std::move(name), buf.data(), buf.size())
+    {
+    }
+
+    /** Typed failure carrying file + current byte offset. */
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw CkptError("'" + name_ + "' at byte " +
+                        std::to_string(offset_) + ": " + what);
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1, "u8");
+        return data_[offset_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4, "u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[offset_ + i])
+                 << (8 * i);
+        offset_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8, "u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[offset_ + i])
+                 << (8 * i);
+        offset_ += 8;
+        return v;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    bool
+    b()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            fail("bool byte is " + std::to_string(v) +
+                 ", expected 0 or 1");
+        return v != 0;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n, "string body");
+        std::string s(reinterpret_cast<const char *>(data_ + offset_),
+                      static_cast<std::size_t>(n));
+        offset_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    std::vector<std::uint64_t>
+    u64Vec()
+    {
+        const std::uint64_t n = countedLen(8, "u64 vector");
+        std::vector<std::uint64_t> v;
+        v.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            v.push_back(u64());
+        return v;
+    }
+
+    std::vector<std::uint32_t>
+    u32Vec()
+    {
+        const std::uint64_t n = countedLen(4, "u32 vector");
+        std::vector<std::uint32_t> v;
+        v.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            v.push_back(u32());
+        return v;
+    }
+
+    std::vector<double>
+    f64Vec()
+    {
+        const std::uint64_t n = countedLen(8, "f64 vector");
+        std::vector<double> v;
+        v.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            v.push_back(f64());
+        return v;
+    }
+
+    /** Read n raw bytes into out. */
+    void
+    raw(void *out, std::size_t n)
+    {
+        need(n, "raw bytes");
+        auto *p = static_cast<std::uint8_t *>(out);
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = data_[offset_ + i];
+        offset_ += n;
+    }
+
+    /**
+     * Read a u64 and fail with expected-vs-found context unless it
+     * matches. Used for structural constants (element counts, kind
+     * tags) whose mismatch means the checkpoint was taken under a
+     * different configuration.
+     */
+    void
+    expectU64(const char *what, std::uint64_t expected)
+    {
+        const std::uint64_t found = u64();
+        if (found != expected)
+            fail(std::string(what) + " mismatch: expected " +
+                 std::to_string(expected) + ", found " +
+                 std::to_string(found));
+    }
+
+    std::size_t offset() const { return offset_; }
+    std::size_t remaining() const { return size_ - offset_; }
+    const std::string &name() const { return name_; }
+
+    /** Advance past n bytes (skipping an unneeded section body). */
+    void
+    skip(std::size_t n)
+    {
+        need(n, "skipped section");
+        offset_ += n;
+    }
+
+  private:
+    void
+    need(std::uint64_t n, const char *what) const
+    {
+        if (n > size_ - offset_)
+            fail(std::string("truncated reading ") + what);
+    }
+
+    /** Validate a counted-array header against remaining bytes. */
+    std::uint64_t
+    countedLen(std::uint64_t elemSize, const char *what)
+    {
+        const std::uint64_t n = u64();
+        if (n > (size_ - offset_) / elemSize)
+            fail(std::string(what) + " length " + std::to_string(n) +
+                 " exceeds remaining bytes");
+        return n;
+    }
+
+    std::string name_;
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t offset_ = 0;
+};
+
+/**
+ * Durably write `size` bytes to `path` via write-then-rename:
+ * the data lands in `<path>.tmp` first and is renamed over the
+ * destination only after a successful flush, so readers never see a
+ * torn file. Throws CkptError on any I/O failure.
+ */
+void atomicWriteFile(const std::string &path, const void *data,
+                     std::size_t size);
+
+inline void
+atomicWriteFile(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    atomicWriteFile(path, bytes.data(), bytes.size());
+}
+
+/**
+ * Read a whole file into memory. Throws CkptError (with the path)
+ * when the file cannot be opened or read.
+ */
+std::vector<std::uint8_t> readFileBytes(const std::string &path);
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_COMMON_SERIAL_HH

@@ -751,4 +751,114 @@ CacheLevelModel::registerStats(StatsRegistry &registry,
     }
 }
 
+void
+CacheLevelModel::saveState(CkptWriter &w) const
+{
+    w.u64(partition_.size());
+    for (const auto &group : partition_) {
+        w.u64(group.size());
+        for (SliceId s : group)
+            w.u32(s);
+    }
+    w.u32Vec(groupRotor_);
+    for (const CacheSlice &s : slices_)
+        s.saveState(w);
+    w.u64(acfvs_.size());
+    for (const Acfv &vec : acfvs_)
+        vec.saveState(w);
+    w.u64(oracles_.size());
+    for (const OracleAcf &oracle : oracles_)
+        oracle.saveState(w);
+    w.u64Vec(sliceFills_);
+    w.u64(stamp_);
+    w.u64(stats_.localHits);
+    w.u64(stats_.remoteHits);
+    w.u64(stats_.misses);
+    w.u64(stats_.fills);
+    w.u64(stats_.evictions);
+    w.u64(stats_.lazyInvalidations);
+    w.u64(stats_.coherenceInvalidations);
+    w.u64(stats_.inclusionInvalidations);
+    w.u64(stats_.sliceProbes);
+    w.u64(stats_.busEvents);
+    w.u64(stats_.busSpanTiles);
+    bus_.saveState(w);
+}
+
+void
+CacheLevelModel::loadState(CkptReader &r)
+{
+    const std::uint64_t numGroups = r.u64();
+    if (numGroups == 0 || numGroups > params_.numSlices)
+        r.fail("partition group count " + std::to_string(numGroups) +
+               " invalid for " + std::to_string(params_.numSlices) +
+               " slices");
+    Partition partition(static_cast<std::size_t>(numGroups));
+    for (auto &group : partition) {
+        const std::uint64_t size = r.u64();
+        if (size == 0 || size > params_.numSlices)
+            r.fail("partition group size " + std::to_string(size) +
+                   " invalid");
+        group.reserve(static_cast<std::size_t>(size));
+        for (std::uint64_t i = 0; i < size; ++i) {
+            const std::uint32_t s = r.u32();
+            if (s >= params_.numSlices)
+                r.fail("slice id " + std::to_string(s) +
+                       " out of range");
+            group.push_back(static_cast<SliceId>(s));
+        }
+    }
+    // Pre-validate exact coverage with a typed error: configure()'s
+    // validatePartition() terminates the process on violation, which
+    // is the right response to an internal bug but not to a bad
+    // checkpoint byte stream.
+    std::vector<bool> seen(params_.numSlices, false);
+    for (const auto &group : partition) {
+        for (SliceId s : group) {
+            if (seen[s])
+                r.fail("slice " + std::to_string(s) +
+                       " appears in two partition groups");
+            seen[s] = true;
+        }
+    }
+    for (std::uint32_t s = 0; s < params_.numSlices; ++s) {
+        if (!seen[s])
+            r.fail("slice " + std::to_string(s) +
+                   " missing from partition");
+    }
+    // configure() rebuilds every derived table, resetting
+    // groupRotor_ and the bus occupancy — which the reads below
+    // then restore.
+    configure(partition);
+    std::vector<std::uint32_t> rotor = r.u32Vec();
+    if (rotor.size() != groupRotor_.size())
+        r.fail("group rotor size mismatch");
+    groupRotor_ = std::move(rotor);
+    for (CacheSlice &s : slices_)
+        s.loadState(r);
+    r.expectU64("ACFV bank size", acfvs_.size());
+    for (Acfv &vec : acfvs_)
+        vec.loadState(r);
+    r.expectU64("oracle bank size", oracles_.size());
+    for (OracleAcf &oracle : oracles_)
+        oracle.loadState(r);
+    std::vector<std::uint64_t> fills = r.u64Vec();
+    if (fills.size() != sliceFills_.size())
+        r.fail("slice fill counter size mismatch");
+    sliceFills_ = std::move(fills);
+    stamp_ = r.u64();
+    stats_.localHits = r.u64();
+    stats_.remoteHits = r.u64();
+    stats_.misses = r.u64();
+    stats_.fills = r.u64();
+    stats_.evictions = r.u64();
+    stats_.lazyInvalidations = r.u64();
+    stats_.coherenceInvalidations = r.u64();
+    stats_.inclusionInvalidations = r.u64();
+    stats_.sliceProbes = r.u64();
+    stats_.busEvents = r.u64();
+    stats_.busSpanTiles = r.u64();
+    bus_.loadState(r);
+}
+
 } // namespace morphcache

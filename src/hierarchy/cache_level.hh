@@ -381,6 +381,17 @@ class CacheLevelModel
     /** Footprint unit (lines) actually in use. */
     std::uint32_t acfvGranularity() const { return acfvGranularity_; }
 
+    /**
+     * Serialize the complete mutable level state: partition, slice
+     * contents + replacement state, ACFV bank, fill counters, bus
+     * occupancy, recency stamp, and statistics. loadState() first
+     * replays configure() on the saved partition (rebuilding every
+     * derived table: groupOf_, span penalties, bus segmentation),
+     * then overwrites the state configure() resets.
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     std::uint64_t nextStamp() { return ++stamp_; }
 

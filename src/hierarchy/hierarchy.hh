@@ -174,6 +174,17 @@ class Hierarchy
     /** Direct L1 access (tests). */
     CacheSlice &l1(CoreId core);
 
+    /**
+     * Serialize the complete cache state: topology, L1 slices, both
+     * reconfigurable levels, per-core counters, L1 recency stamp.
+     * loadState() installs the saved topology *directly* (the level
+     * loadState calls replay configure() themselves) — it must not
+     * go through reconfigure(), which moves lines and enforces
+     * inclusion against the state being replaced.
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     /** Install a line into the L1, handling the L1 victim. */
     void fillL1(CoreId core, Addr line_addr, bool dirty);

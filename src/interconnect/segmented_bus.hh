@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace morphcache {
@@ -193,6 +194,41 @@ class SegmentedBus
 
     /** Attach a grant-fault hook (not owned; nullptr = clean bus). */
     void setFaultHook(BusFaultHook *hook) { faultHook_ = hook; }
+
+    /**
+     * Serialize occupancy + counters. Segmentation (groupOf_,
+     * segSize_) is rebuilt by configure() during restore, so
+     * loadState() must run *after* configure() — configure() zeroes
+     * busyUntil_, which loadState() then overwrites with the saved
+     * occupancy.
+     */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64Vec(busyUntil_);
+        w.u64(numTxns_);
+        w.u64(queueCycles_);
+        w.u64Vec(segQueueCycles_);
+        w.u64Vec(segTxns_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        std::vector<std::uint64_t> busy = r.u64Vec();
+        if (busy.size() != busyUntil_.size())
+            r.fail("bus segment count mismatch: expected " +
+                   std::to_string(busyUntil_.size()) + ", found " +
+                   std::to_string(busy.size()));
+        busyUntil_ = std::move(busy);
+        numTxns_ = r.u64();
+        queueCycles_ = r.u64();
+        segQueueCycles_ = r.u64Vec();
+        segTxns_ = r.u64Vec();
+        if (segQueueCycles_.size() != busyUntil_.size() ||
+            segTxns_.size() != busyUntil_.size())
+            r.fail("bus per-segment counter size mismatch");
+    }
 
   private:
     /** Shared queue/occupancy accounting; returns the wait. */

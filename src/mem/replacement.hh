@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/serial.hh"
 
 namespace morphcache {
 
@@ -54,6 +55,10 @@ class PlruTree
     /** Raw direction bits (for tests). */
     std::uint64_t bits() const { return bits_; }
 
+    /** Serialize direction bits; geometry is construction-time. */
+    void saveState(CkptWriter &w) const { w.u64(bits_); }
+    void loadState(CkptReader &r) { bits_ = r.u64(); }
+
   private:
     std::uint32_t assoc_;
     std::uint32_t levels_;
@@ -72,6 +77,22 @@ class PlruState
     /** Tree for a given set. */
     PlruTree &tree(std::uint64_t set);
     const PlruTree &tree(std::uint64_t set) const;
+
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64(trees_.size());
+        for (const PlruTree &t : trees_)
+            t.saveState(w);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        r.expectU64("PLRU tree count", trees_.size());
+        for (PlruTree &t : trees_)
+            t.loadState(r);
+    }
 
   private:
     std::vector<PlruTree> trees_;

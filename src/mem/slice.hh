@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 #include "mem/geometry.hh"
 #include "mem/line.hh"
@@ -93,6 +94,39 @@ class CacheSlice
     setIndex(Addr line_addr) const
     {
         return geom_.setIndex(line_addr);
+    }
+
+    /** Serialize all line + replacement state. */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64(lines_.size());
+        for (const CacheLine &line : lines_) {
+            w.u64(line.lineAddr);
+            w.u8(static_cast<std::uint8_t>(
+                (line.valid ? 1u : 0u) | (line.dirty ? 2u : 0u) |
+                (line.reused ? 4u : 0u)));
+            w.u64(line.stamp);
+        }
+        plru_.saveState(w);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        r.expectU64("slice line count", lines_.size());
+        for (CacheLine &line : lines_) {
+            line.lineAddr = r.u64();
+            const std::uint8_t flags = r.u8();
+            if (flags > 7)
+                r.fail("cache-line flags byte is " +
+                       std::to_string(flags) + ", expected <= 7");
+            line.valid = (flags & 1) != 0;
+            line.dirty = (flags & 2) != 0;
+            line.reused = (flags & 4) != 0;
+            line.stamp = r.u64();
+        }
+        plru_.loadState(r);
     }
 
   private:

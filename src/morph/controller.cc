@@ -1084,4 +1084,84 @@ MorphController::robustnessReport() const
                          counters);
 }
 
+void
+MorphController::saveState(CkptWriter &w) const
+{
+    w.f64(msatNow_.high);
+    w.f64(msatNow_.low);
+    w.f64(msatL3Now_.high);
+    w.f64(msatL3Now_.low);
+    w.u64(stats_.merges);
+    w.u64(stats_.splits);
+    w.u64(stats_.mergesCondI);
+    w.u64(stats_.mergesCondII);
+    w.u64(stats_.mergesForced);
+    w.u64(stats_.splitsForced);
+    w.u64(stats_.activeEpochs);
+    w.u64(stats_.decisions);
+    w.u64(stats_.asymmetricOutcomes);
+    w.u64Vec(l2MergeStamp_);
+    w.u64Vec(l3MergeStamp_);
+    w.u64Vec(lastMissSnapshot_);
+    w.u64Vec(prevEpochMisses_);
+    w.b(havePrevEpoch_);
+    w.b(mergedLastEpoch_);
+    checker_.saveState(w);
+    w.u64(robust_.violationEpochs);
+    w.u64(robust_.droppedTopologies);
+    w.u64(robust_.quarantines);
+    w.u64(robust_.quarantineEpochs);
+    w.u64(robust_.recoveries);
+    w.u64(quarantineLeft_);
+    w.b(ownedFaults_ != nullptr);
+    if (ownedFaults_)
+        ownedFaults_->saveState(w);
+}
+
+void
+MorphController::loadState(CkptReader &r)
+{
+    msatNow_.high = r.f64();
+    msatNow_.low = r.f64();
+    msatL3Now_.high = r.f64();
+    msatL3Now_.low = r.f64();
+    stats_.merges = r.u64();
+    stats_.splits = r.u64();
+    stats_.mergesCondI = r.u64();
+    stats_.mergesCondII = r.u64();
+    stats_.mergesForced = r.u64();
+    stats_.splitsForced = r.u64();
+    stats_.activeEpochs = r.u64();
+    stats_.decisions = r.u64();
+    stats_.asymmetricOutcomes = r.u64();
+    const auto sizedU64Vec = [&r](std::vector<std::uint64_t> &dst,
+                                  const char *what) {
+        std::vector<std::uint64_t> v = r.u64Vec();
+        if (v.size() != dst.size())
+            r.fail(std::string(what) + " size mismatch: expected " +
+                   std::to_string(dst.size()) + ", found " +
+                   std::to_string(v.size()));
+        dst = std::move(v);
+    };
+    sizedU64Vec(l2MergeStamp_, "L2 merge stamps");
+    sizedU64Vec(l3MergeStamp_, "L3 merge stamps");
+    sizedU64Vec(lastMissSnapshot_, "miss snapshot");
+    sizedU64Vec(prevEpochMisses_, "previous-epoch misses");
+    havePrevEpoch_ = r.b();
+    mergedLastEpoch_ = r.b();
+    checker_.loadState(r);
+    robust_.violationEpochs = r.u64();
+    robust_.droppedTopologies = r.u64();
+    robust_.quarantines = r.u64();
+    robust_.quarantineEpochs = r.u64();
+    robust_.recoveries = r.u64();
+    quarantineLeft_ = static_cast<std::uint32_t>(r.u64());
+    const bool hadFaults = r.b();
+    if (hadFaults != (ownedFaults_ != nullptr))
+        r.fail("fault-injector presence mismatch: checkpoint and "
+               "configuration disagree");
+    if (ownedFaults_)
+        ownedFaults_->loadState(r);
+}
+
 } // namespace morphcache

@@ -290,6 +290,16 @@ class MorphController
      */
     std::string robustnessReport() const;
 
+    /**
+     * Serialize the complete decision state: live MSATs, activity
+     * counters, hysteresis stamps, QoS miss snapshots, checker and
+     * degradation counters, quarantine countdown, and the owned
+     * fault injector's PRNG streams. The external injector
+     * (attachFaultInjector) is test-only and not serialized.
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     MergeEval evaluateMerge(const LevelSignals &level,
                             const MsatConfig &msat,

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Crash-resilient resumable sweep campaigns.
+ *
+ * A campaign is an ordered list of independent cells (one RunSpec
+ * each) driven across a worker pool, with durable progress:
+ *
+ *  - a JSONL *manifest* records one header line plus an append-only
+ *    event log of per-cell status transitions
+ *    (pending/running/done/failed with an attempt count) — the
+ *    last event per cell wins, and a torn final line (the crash
+ *    case) is ignored;
+ *  - a state directory `<manifest>.d/` holds per-cell checkpoint
+ *    chains (`cellNNNN.ckpt` + `.prev`) written every --ckpt-every
+ *    recorded epochs, and `cellNNNN.result.json` files written
+ *    atomically when a cell completes;
+ *  - resume folds the manifest, replays done cells from their
+ *    result files byte-for-byte, restores in-progress cells from
+ *    their checkpoint chains, and reruns the rest — so a campaign
+ *    SIGKILLed at any point finishes with output bytes identical
+ *    to a never-interrupted run;
+ *  - failed cells retry with bounded exponential backoff (up to
+ *    retryCells extra tries) and otherwise stay explicitly marked
+ *    `"status":"failed"` — they are reported, never silently
+ *    dropped, and excluded from the stats aggregate;
+ *  - a wall-clock watchdog cancels cells that exceed
+ *    cellTimeoutSec (cooperatively, at epoch granularity), turning
+ *    hung cells into retryable failures;
+ *  - SIGINT/SIGTERM (via the ckpt interrupt flag) checkpoint the
+ *    running cells at the next epoch boundary and stop cleanly;
+ *    the caller exits with ckptResumableExit.
+ *
+ * Everything in CampaignReport is a pure function of the cell list
+ * and the per-cell simulated results: bytes are identical for any
+ * job count, kill point, or resume count.
+ */
+
+#ifndef MORPHCACHE_RUNNER_CAMPAIGN_HH
+#define MORPHCACHE_RUNNER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/run_spec.hh"
+
+namespace morphcache {
+
+/** One campaign cell: a labelled run spec. */
+struct CampaignCell
+{
+    /** Report label ("mix:08 seed=1234"). */
+    std::string label;
+    RunSpec spec;
+};
+
+struct CampaignOptions
+{
+    /** JSONL manifest path; state dir is `<manifest>.d/`. */
+    std::string manifestPath;
+    /** Worker threads; 0 = hardware_concurrency. */
+    unsigned jobs = 0;
+    /** Checkpoint each cell every N recorded epochs (0 = off). */
+    std::uint32_t ckptEvery = 0;
+    /** Extra tries for a failed cell (exponential backoff). */
+    std::uint32_t retryCells = 0;
+    /** Wall-clock watchdog per cell try, seconds (0 = off). */
+    double cellTimeoutSec = 0.0;
+    /** Fold an existing manifest instead of starting fresh. */
+    bool resume = false;
+    /** Collect per-cell stats-registry JSON into the report. */
+    bool wantStatsJson = false;
+};
+
+struct CampaignReport
+{
+    /**
+     * Deterministic per-cell report block (no paths, no timing):
+     * identical bytes however the campaign was run or resumed.
+     */
+    std::string reportText;
+    /** JSON array of done cells' registries (wantStatsJson). */
+    std::string statsJsonArray;
+    std::size_t cells = 0;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    /** Stopped early on the interrupt flag; resume to finish. */
+    bool interrupted = false;
+};
+
+/**
+ * Run (or resume) a campaign. Throws CkptError when resuming
+ * against a manifest whose header does not match the cell list,
+ * and ConfigError on malformed options.
+ */
+CampaignReport runCampaign(const std::vector<CampaignCell> &cells,
+                           const CampaignOptions &opts);
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_RUNNER_CAMPAIGN_HH

@@ -152,4 +152,26 @@ MorphCacheSystem::numCores() const
     return hierarchy_.numCores();
 }
 
+void
+MorphCacheSystem::saveState(CkptWriter &w) const
+{
+    hierarchy_.saveState(w);
+    controller_.saveState(w);
+    w.u64(lastL2QueueCycles_);
+    w.u64(lastL2Txns_);
+    w.u64(lastL3QueueCycles_);
+    w.u64(lastL3Txns_);
+}
+
+void
+MorphCacheSystem::loadState(CkptReader &r)
+{
+    hierarchy_.loadState(r);
+    controller_.loadState(r);
+    lastL2QueueCycles_ = r.u64();
+    lastL2Txns_ = r.u64();
+    lastL3QueueCycles_ = r.u64();
+    lastL3Txns_ = r.u64();
+}
+
 } // namespace morphcache

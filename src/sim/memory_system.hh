@@ -55,6 +55,28 @@ class MemorySystem
      * detaches). Default: ignored.
      */
     virtual void setTracer(Tracer *tracer) { (void)tracer; }
+
+    /**
+     * Serialize/restore the complete mutable system state (cache
+     * contents, policy state, counters). The defaults throw
+     * CkptError so a system without checkpoint support fails typed
+     * instead of resuming half-restored.
+     */
+    virtual void
+    saveState(CkptWriter &w) const
+    {
+        (void)w;
+        throw CkptError("memory system '" + name() +
+                        "' does not support checkpoint/restore");
+    }
+
+    virtual void
+    loadState(CkptReader &r)
+    {
+        (void)r;
+        throw CkptError("memory system '" + name() +
+                        "' does not support checkpoint/restore");
+    }
 };
 
 /**
@@ -86,6 +108,14 @@ class StaticTopologySystem : public MemorySystem
     std::uint32_t numCores() const override;
     std::string name() const override;
     void registerStats(StatsRegistry &registry) override;
+    void saveState(CkptWriter &w) const override
+    {
+        hierarchy_.saveState(w);
+    }
+    void loadState(CkptReader &r) override
+    {
+        hierarchy_.loadState(r);
+    }
 
     /** Underlying hierarchy (stats, tests). */
     Hierarchy &hierarchy() { return hierarchy_; }
@@ -117,6 +147,8 @@ class MorphCacheSystem : public MemorySystem
     std::string name() const override { return "MorphCache"; }
     void registerStats(StatsRegistry &registry) override;
     void setTracer(Tracer *tracer) override;
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
 
     /** Underlying hierarchy. */
     Hierarchy &hierarchy() { return hierarchy_; }

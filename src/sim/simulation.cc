@@ -94,25 +94,53 @@ Simulation::setTracer(Tracer *tracer)
     system_.setTracer(tracer);
 }
 
+void
+Simulation::markWarmupDone()
+{
+    warmupDone_ = true;
+    baselineCycles_ = cycles_;
+    baselineInstrs_ = instrs_;
+}
+
+void
+Simulation::stepEpoch()
+{
+    if (done())
+        return;
+    if (!warmupDone_ && nextEpoch_ < params_.warmupEpochs) {
+        runEpoch(nextEpoch_++);
+        if (nextEpoch_ == params_.warmupEpochs)
+            markWarmupDone();
+        return;
+    }
+    if (!warmupDone_)
+        markWarmupDone();
+    const EpochId id = nextEpoch_++;
+    recorded_.push_back(runEpoch(id));
+    if (registry_)
+        registry_->snapshotEpoch(id);
+}
+
+bool
+Simulation::done() const
+{
+    return nextEpoch_ >= params_.warmupEpochs &&
+           recorded_.size() >= params_.epochs;
+}
+
 RunResult
-Simulation::run()
+Simulation::finish() const
 {
     const std::uint32_t cores = workload_.numCores();
     RunResult result;
+    result.epochs = recorded_;
 
-    for (std::uint32_t w = 0; w < params_.warmupEpochs; ++w)
-        runEpoch(nextEpoch_++);
-
-    const std::vector<double> cycles_start = cycles_;
-    const std::vector<double> instr_start = instrs_;
-
-    result.epochs.reserve(params_.epochs);
-    for (std::uint32_t e = 0; e < params_.epochs; ++e) {
-        const EpochId id = nextEpoch_++;
-        result.epochs.push_back(runEpoch(id));
-        if (registry_)
-            registry_->snapshotEpoch(id);
-    }
+    // With zero recorded epochs the baselines were never captured;
+    // the current clocks give the same all-zero deltas.
+    const std::vector<double> &cycles_start =
+        warmupDone_ ? baselineCycles_ : cycles_;
+    const std::vector<double> &instr_start =
+        warmupDone_ ? baselineInstrs_ : instrs_;
 
     result.avgIpc.resize(cores);
     double max_cycles = 0.0;
@@ -128,6 +156,69 @@ Simulation::run()
     result.performance =
         max_cycles > 0.0 ? total_instr / max_cycles : 0.0;
     return result;
+}
+
+RunResult
+Simulation::run()
+{
+    while (!done())
+        stepEpoch();
+    return finish();
+}
+
+void
+Simulation::saveState(CkptWriter &w) const
+{
+    w.f64Vec(cycles_);
+    w.f64Vec(instrs_);
+    w.u64(nextEpoch_);
+    w.b(warmupDone_);
+    w.f64Vec(baselineCycles_);
+    w.f64Vec(baselineInstrs_);
+    w.u64(recorded_.size());
+    for (const EpochMetrics &metrics : recorded_) {
+        w.f64Vec(metrics.ipc);
+        w.f64(metrics.throughput);
+        w.u64Vec(metrics.misses);
+    }
+}
+
+void
+Simulation::loadState(CkptReader &r)
+{
+    const std::size_t cores = cycles_.size();
+    std::vector<double> cycles = r.f64Vec();
+    if (cycles.size() != cores)
+        r.fail("core clock count mismatch");
+    std::vector<double> instrs = r.f64Vec();
+    if (instrs.size() != cores)
+        r.fail("instruction counter count mismatch");
+    cycles_ = std::move(cycles);
+    instrs_ = std::move(instrs);
+    nextEpoch_ = static_cast<EpochId>(r.u64());
+    warmupDone_ = r.b();
+    baselineCycles_ = r.f64Vec();
+    baselineInstrs_ = r.f64Vec();
+    if (warmupDone_ && (baselineCycles_.size() != cores ||
+                        baselineInstrs_.size() != cores))
+        r.fail("warmup baseline size mismatch");
+    const std::uint64_t count = r.u64();
+    if (count > params_.epochs)
+        r.fail("checkpoint records " + std::to_string(count) +
+               " epochs but the run only has " +
+               std::to_string(params_.epochs));
+    recorded_.clear();
+    recorded_.reserve(count);
+    for (std::uint64_t e = 0; e < count; ++e) {
+        EpochMetrics metrics;
+        metrics.ipc = r.f64Vec();
+        metrics.throughput = r.f64();
+        metrics.misses = r.u64Vec();
+        if (metrics.ipc.size() != cores ||
+            metrics.misses.size() != cores)
+            r.fail("recorded epoch metric size mismatch");
+        recorded_.push_back(std::move(metrics));
+    }
 }
 
 } // namespace morphcache

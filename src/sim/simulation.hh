@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.hh"
 #include "sim/core_model.hh"
 #include "sim/memory_system.hh"
 #include "workload/generator.hh"
@@ -76,6 +77,37 @@ class Simulation
     RunResult run();
 
     /**
+     * Advance the run by exactly one epoch (warmup or recorded).
+     * `run()` is `while (!done()) stepEpoch();` + `finish()`; the
+     * checkpointing CLI drives the same loop itself so it can
+     * serialize state and poll signals between epochs. No-op once
+     * done().
+     */
+    void stepEpoch();
+
+    /** Have all warmup + recorded epochs run? */
+    bool done() const;
+
+    /** Aggregate the recorded epochs into a RunResult. */
+    RunResult finish() const;
+
+    /** Recorded epochs completed so far. */
+    std::uint64_t recordedEpochs() const { return recorded_.size(); }
+
+    /** Id the next epoch (warmup or recorded) will get. */
+    EpochId nextEpoch() const { return nextEpoch_; }
+
+    /**
+     * Serialize/restore run progress: core clocks, epoch cursor,
+     * post-warmup baselines, and the recorded per-epoch metrics.
+     * The attached system/workload/registry are serialized by their
+     * owners; restore must rebuild this Simulation over identically
+     * configured ones.
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
+    /**
      * Run a single epoch (after beginEpoch on the workload) and
      * return its metrics. Exposed for the step-by-step harnesses.
      */
@@ -97,6 +129,9 @@ class Simulation
     void setRegistry(StatsRegistry *registry) { registry_ = registry; }
 
   private:
+    /** Stamp warmup complete and capture the metric baselines. */
+    void markWarmupDone();
+
     MemorySystem &system_;
     Workload &workload_;
     SimParams params_;
@@ -105,6 +140,14 @@ class Simulation
     /** Per-core retired instructions. */
     std::vector<double> instrs_;
     EpochId nextEpoch_ = 0;
+    /** Warmup finished and baselines captured. */
+    bool warmupDone_ = false;
+    /** Core clocks at the end of warmup (finish() deltas). */
+    std::vector<double> baselineCycles_;
+    /** Retired instructions at the end of warmup. */
+    std::vector<double> baselineInstrs_;
+    /** Metrics of the recorded epochs run so far. */
+    std::vector<EpochMetrics> recorded_;
     /** Decision-provenance tracer (not owned; null = disabled). */
     Tracer *tracer_ = nullptr;
     /** Per-epoch snapshot target (not owned; null = disabled). */

@@ -305,6 +305,55 @@ StatsRegistry::writeCsv(const std::string &path) const
     writeString(path, csvString());
 }
 
+void
+StatsRegistry::saveState(CkptWriter &w) const
+{
+    w.u64(entries_.size());
+    for (const Entry &entry : entries_) {
+        w.b(entry.isOwned);
+        if (entry.isOwned)
+            w.u64(entry.owned);
+    }
+    w.u64(histograms_.size());
+    for (const HistEntry &entry : histograms_)
+        entry.hist.saveState(w);
+    w.u64Vec(snapshotEpochs_);
+    w.u64(snapshots_.size());
+    for (const std::vector<double> &row : snapshots_)
+        w.f64Vec(row);
+}
+
+void
+StatsRegistry::loadState(CkptReader &r)
+{
+    r.expectU64("registered stat count", entries_.size());
+    for (Entry &entry : entries_) {
+        const bool owned = r.b();
+        if (owned != entry.isOwned)
+            r.fail("stat '" + entry.name +
+                   "' owned/bound kind mismatch");
+        if (owned)
+            entry.owned = r.u64();
+    }
+    r.expectU64("histogram count", histograms_.size());
+    for (HistEntry &entry : histograms_)
+        entry.hist.loadState(r);
+    std::vector<std::uint64_t> epochs = r.u64Vec();
+    const std::uint64_t rows = r.u64();
+    if (rows != epochs.size())
+        r.fail("snapshot row count does not match epoch ids");
+    std::vector<std::vector<double>> snapshots;
+    snapshots.reserve(rows);
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        std::vector<double> row = r.f64Vec();
+        if (row.size() != entries_.size())
+            r.fail("snapshot row width mismatch");
+        snapshots.push_back(std::move(row));
+    }
+    snapshotEpochs_ = std::move(epochs);
+    snapshots_ = std::move(snapshots);
+}
+
 std::string
 configHashHex(const std::string &description)
 {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serial.hh"
 #include "stats/stats.hh"
 
 namespace morphcache {
@@ -134,6 +135,15 @@ class StatsRegistry
     /** Write jsonString() / csvString() to a file (fatal on I/O). */
     void writeJson(const std::string &path) const;
     void writeCsv(const std::string &path) const;
+
+    /**
+     * Serialize/restore the epoch-snapshot history. Entries and
+     * histograms are NOT serialized: registration is deterministic
+     * at construction, so restore requires a registry whose entries
+     * already match the checkpointed one (row widths are checked).
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     struct Entry

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "common/serial.hh"
+
 namespace morphcache {
 
 /**
@@ -118,6 +120,24 @@ class Histogram
 
     /** Lower edge of bucket i. */
     double bucketLo(std::size_t i) const;
+
+    /** Serialize/restore bucket counts (shape must match). */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64Vec(counts_);
+        w.u64(total_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        std::vector<std::uint64_t> counts = r.u64Vec();
+        if (counts.size() != counts_.size())
+            r.fail("histogram bucket count mismatch");
+        counts_ = std::move(counts);
+        total_ = r.u64();
+    }
 
   private:
     double lo_;

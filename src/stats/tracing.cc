@@ -1,5 +1,7 @@
 #include "stats/tracing.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -128,6 +130,33 @@ traceEventJson(const TraceEvent &ev)
 JsonlTraceSink::JsonlTraceSink(const std::string &path)
     : file_(openForWrite(path))
 {
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string &path,
+                               std::uint64_t resume_offset)
+    : file_(nullptr)
+{
+    if (::truncate(path.c_str(), static_cast<off_t>(resume_offset)) != 0) {
+        fatal("cannot truncate trace file '%s' to resume offset %llu",
+              path.c_str(),
+              static_cast<unsigned long long>(resume_offset));
+    }
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_)
+        fatal("cannot reopen trace file '%s' for resume",
+              path.c_str());
+}
+
+std::uint64_t
+JsonlTraceSink::byteOffset() const
+{
+    if (!file_)
+        return 0;
+    std::fflush(file_);
+    const long pos = std::ftell(file_);
+    if (pos < 0)
+        fatal("cannot read trace file offset");
+    return static_cast<std::uint64_t>(pos);
 }
 
 JsonlTraceSink::~JsonlTraceSink()

@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "common/serial.hh"
+
 namespace morphcache {
 
 /**
@@ -134,6 +136,27 @@ class Tracer
     /** Events emitted so far. */
     std::uint64_t eventCount() const { return seq_; }
 
+    /**
+     * Serialize/restore the stamping state (epoch, simulated time,
+     * sequence counter) so a resumed run numbers events exactly
+     * where the interrupted run stopped.
+     */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64(epoch_);
+        w.u64(time_);
+        w.u64(seq_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        epoch_ = r.u64();
+        time_ = r.u64();
+        seq_ = r.u64();
+    }
+
   private:
     TraceSink *sink_;
     std::uint64_t epoch_ = 0;
@@ -147,10 +170,26 @@ class JsonlTraceSink : public TraceSink
   public:
     /** Opens `path` for writing; fatal() on failure. */
     explicit JsonlTraceSink(const std::string &path);
+
+    /**
+     * Resume an interrupted trace: truncate `path` to
+     * `resume_offset` bytes (the offset a checkpoint recorded) and
+     * append from there, discarding any events written after the
+     * checkpoint was taken. fatal() on failure.
+     */
+    JsonlTraceSink(const std::string &path,
+                   std::uint64_t resume_offset);
+
     ~JsonlTraceSink() override;
 
     void event(const TraceEvent &ev) override;
     void finish() override;
+
+    /**
+     * Flush and report the current file byte offset — the value a
+     * checkpoint stores so resume can truncate back to it.
+     */
+    std::uint64_t byteOffset() const;
 
   private:
     std::FILE *file_;

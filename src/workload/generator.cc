@@ -399,4 +399,123 @@ SoloWorkload::clone() const
     return std::make_unique<SoloWorkload>(*this);
 }
 
+namespace {
+
+void
+saveWorkingSet(CkptWriter &w, const WorkingSet &set)
+{
+    w.u64(set.base);
+    w.u64(set.chunkCount);
+    w.u64(set.chunkLines);
+    w.u64(set.stride);
+}
+
+void
+loadWorkingSet(CkptReader &r, WorkingSet &set)
+{
+    set.base = r.u64();
+    set.chunkCount = r.u64();
+    set.chunkLines = r.u64();
+    set.stride = r.u64();
+    if (set.chunkLines == 0 || set.stride < set.chunkLines)
+        r.fail("working-set geometry invalid (chunkLines " +
+               std::to_string(set.chunkLines) + ", stride " +
+               std::to_string(set.stride) + ")");
+}
+
+} // namespace
+
+void
+CoreRefGenerator::saveState(CkptWriter &w) const
+{
+    rng_.saveState(w);
+    saveWorkingSet(w, hot_);
+    saveWorkingSet(w, mid_);
+    w.u64(midPos_);
+    w.u64(sharedMidPos_);
+    w.u64(streamPtr_);
+    w.b(inLowPhase_);
+    w.f64(noise2_);
+    w.f64(noise3_);
+    saveWorkingSet(w, shared_.hot);
+    saveWorkingSet(w, shared_.mid);
+    w.f64(shared_.fraction);
+    w.b(lastShared_);
+    w.u64Vec(ring_);
+    w.u64(ringShared_.size());
+    for (std::size_t i = 0; i < ringShared_.size(); ++i)
+        w.b(ringShared_[i]);
+    w.u64(ringNext_);
+}
+
+void
+CoreRefGenerator::loadState(CkptReader &r)
+{
+    rng_.loadState(r);
+    loadWorkingSet(r, hot_);
+    loadWorkingSet(r, mid_);
+    midPos_ = r.u64();
+    sharedMidPos_ = r.u64();
+    streamPtr_ = r.u64();
+    inLowPhase_ = r.b();
+    noise2_ = r.f64();
+    noise3_ = r.f64();
+    loadWorkingSet(r, shared_.hot);
+    loadWorkingSet(r, shared_.mid);
+    shared_.fraction = r.f64();
+    lastShared_ = r.b();
+    std::vector<std::uint64_t> ring = r.u64Vec();
+    if (ring.size() != ring_.size())
+        r.fail("recency ring size mismatch: expected " +
+               std::to_string(ring_.size()) + ", found " +
+               std::to_string(ring.size()));
+    ring_ = std::move(ring);
+    r.expectU64("recency ring flag count", ringShared_.size());
+    for (std::size_t i = 0; i < ringShared_.size(); ++i)
+        ringShared_[i] = r.b();
+    ringNext_ = static_cast<std::uint32_t>(r.u64());
+    if (ringNext_ >= ring_.size() && !ring_.empty())
+        r.fail("recency ring cursor out of range");
+}
+
+void
+MixWorkload::saveState(CkptWriter &w) const
+{
+    w.u64(gens_.size());
+    for (const CoreRefGenerator &gen : gens_)
+        gen.saveState(w);
+}
+
+void
+MixWorkload::loadState(CkptReader &r)
+{
+    r.expectU64("mix generator count", gens_.size());
+    for (CoreRefGenerator &gen : gens_)
+        gen.loadState(r);
+}
+
+void
+MultithreadedWorkload::saveState(CkptWriter &w) const
+{
+    appRng_.saveState(w);
+    saveWorkingSet(w, shared_.hot);
+    saveWorkingSet(w, shared_.mid);
+    w.f64(shared_.fraction);
+    w.u64(gens_.size());
+    for (const CoreRefGenerator &gen : gens_)
+        gen.saveState(w);
+}
+
+void
+MultithreadedWorkload::loadState(CkptReader &r)
+{
+    appRng_.loadState(r);
+    loadWorkingSet(r, shared_.hot);
+    loadWorkingSet(r, shared_.mid);
+    shared_.fraction = r.f64();
+    r.expectU64("thread generator count", gens_.size());
+    for (CoreRefGenerator &gen : gens_)
+        gen.loadState(r);
+}
+
 } // namespace morphcache

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/serial.hh"
 #include "common/types.hh"
 #include "workload/profiles.hh"
 
@@ -233,6 +234,13 @@ class CoreRefGenerator
                                        double coverage_factor,
                                        std::uint32_t acfv_bits);
 
+    /**
+     * Serialize the full stream cursor: PRNG, working sets, sweep
+     * positions, phase/noise memory, shared region, recency ring.
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     Addr drawLine();
 
@@ -292,6 +300,28 @@ class Workload
 
     /** Display name. */
     virtual std::string name() const = 0;
+
+    /**
+     * Serialize/restore the workload cursor (PRNG streams, working
+     * sets, sweep positions). The defaults throw CkptError so a
+     * workload type without checkpoint support fails typed instead
+     * of resuming from a silently wrong position.
+     */
+    virtual void
+    saveState(CkptWriter &w) const
+    {
+        (void)w;
+        throw CkptError("workload '" + name() +
+                        "' does not support checkpoint/restore");
+    }
+
+    virtual void
+    loadState(CkptReader &r)
+    {
+        (void)r;
+        throw CkptError("workload '" + name() +
+                        "' does not support checkpoint/restore");
+    }
 };
 
 /**
@@ -310,6 +340,8 @@ class MixWorkload : public Workload
     std::uint32_t numCores() const override;
     std::unique_ptr<Workload> clone() const override;
     std::string name() const override { return name_; }
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
 
     /** Generator of one core (characterization). */
     CoreRefGenerator &core(CoreId core);
@@ -337,6 +369,8 @@ class MultithreadedWorkload : public Workload
     std::uint32_t numCores() const override;
     std::unique_ptr<Workload> clone() const override;
     std::string name() const override { return profile_.name; }
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
 
     /** Generator of one thread (characterization). */
     CoreRefGenerator &thread(CoreId core);
@@ -367,6 +401,8 @@ class SoloWorkload : public Workload
     std::uint32_t numCores() const override { return 1; }
     std::unique_ptr<Workload> clone() const override;
     std::string name() const override { return gen_.profile().name; }
+    void saveState(CkptWriter &w) const override { gen_.saveState(w); }
+    void loadState(CkptReader &r) override { gen_.loadState(r); }
 
     CoreRefGenerator &generator() { return gen_; }
 

@@ -6,6 +6,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 
 namespace morphcache {
 
@@ -13,24 +14,6 @@ namespace {
 
 constexpr char traceMagic[4] = {'M', 'C', 'T', 'R'};
 constexpr std::uint32_t traceVersion = 1;
-
-void
-putU32(std::FILE *f, std::uint32_t v)
-{
-    unsigned char b[4];
-    for (int i = 0; i < 4; ++i)
-        b[i] = static_cast<unsigned char>(v >> (8 * i));
-    std::fwrite(b, 1, 4, f);
-}
-
-void
-putU64(std::FILE *f, std::uint64_t v)
-{
-    unsigned char b[8];
-    for (int i = 0; i < 8; ++i)
-        b[i] = static_cast<unsigned char>(v >> (8 * i));
-    std::fwrite(b, 1, 8, f);
-}
 
 /**
  * Byte reader over a trace file. Owns the FILE handle (closed on
@@ -158,30 +141,32 @@ recordTrace(Workload &workload, std::uint32_t num_epochs,
 void
 writeTrace(const Trace &trace, const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("cannot open trace file '%s' for writing",
-              path.c_str());
-    std::fwrite(traceMagic, 1, 4, f);
-    putU32(f, traceVersion);
-    putU32(f, trace.numCores);
+    // Encode in memory and land the file atomically (write to
+    // `<path>.tmp`, then rename): a crash mid-write must not leave a
+    // torn trace behind for a later replay to trip over.
+    CkptWriter out;
+    out.bytes(traceMagic, 4);
+    out.u32(traceVersion);
+    out.u32(trace.numCores);
     for (std::uint32_t e = 0; e < trace.epochs.size(); ++e) {
-        std::fputc(1, f); // epoch marker
-        putU32(f, e);
+        out.u8(1); // epoch marker
+        out.u32(e);
         for (std::uint32_t c = 0; c < trace.numCores; ++c) {
             for (const MemAccess &access : trace.epochs[e][c]) {
-                std::fputc(0, f); // access record
+                out.u8(0); // access record
                 const std::uint16_t core = access.core;
-                std::fputc(core & 0xff, f);
-                std::fputc((core >> 8) & 0xff, f);
-                std::fputc(access.type == AccessType::Write ? 1 : 0,
-                           f);
-                putU64(f, access.addr);
+                out.u8(static_cast<std::uint8_t>(core & 0xff));
+                out.u8(static_cast<std::uint8_t>((core >> 8) & 0xff));
+                out.u8(access.type == AccessType::Write ? 1 : 0);
+                out.u64(access.addr);
             }
         }
     }
-    if (std::fclose(f) != 0)
-        fatal("error writing trace file '%s'", path.c_str());
+    try {
+        atomicWriteFile(path, out.buffer());
+    } catch (const CkptError &e) {
+        fatal("error writing trace file: %s", e.what());
+    }
 }
 
 Trace
@@ -300,6 +285,36 @@ std::unique_ptr<Workload>
 TraceWorkload::clone() const
 {
     return std::make_unique<TraceWorkload>(*this);
+}
+
+void
+TraceWorkload::saveState(CkptWriter &w) const
+{
+    w.u64(epoch_);
+    w.u64(cursor_.size());
+    for (std::size_t cursor : cursor_)
+        w.u64(cursor);
+    w.u64(wraps_);
+}
+
+void
+TraceWorkload::loadState(CkptReader &r)
+{
+    const std::uint64_t epoch = r.u64();
+    if (epoch >= trace_.epochs.size())
+        r.fail("trace epoch index " + std::to_string(epoch) +
+               " out of range (" +
+               std::to_string(trace_.epochs.size()) + " epochs)");
+    epoch_ = static_cast<std::size_t>(epoch);
+    r.expectU64("trace cursor count", cursor_.size());
+    for (std::uint32_t c = 0; c < trace_.numCores; ++c) {
+        const std::uint64_t cursor = r.u64();
+        if (cursor > trace_.epochs[epoch_][c].size())
+            r.fail("trace cursor for core " + std::to_string(c) +
+                   " out of range");
+        cursor_[c] = static_cast<std::size_t>(cursor);
+    }
+    wraps_ = r.u64();
 }
 
 } // namespace morphcache

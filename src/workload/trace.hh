@@ -88,6 +88,14 @@ class TraceWorkload : public Workload
     /** Times any core's epoch sequence wrapped around. */
     std::uint64_t wrapCount() const { return wraps_; }
 
+    /**
+     * Serialize the replay cursor (epoch index, per-core positions,
+     * wrap counter) — not the trace itself, which the restored run
+     * reloads from its original file.
+     */
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
+
   private:
     Trace trace_;
     bool sharedAddressSpace_;

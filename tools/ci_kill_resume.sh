@@ -1,0 +1,83 @@
+#!/bin/sh
+# Kill-and-resume CI leg: prove the checkpoint/restore determinism
+# contract end to end. A parallel campaign is SIGKILLed at a
+# random-but-seeded point mid-flight, resumed with --resume, and
+# its stdout report plus stats-JSON bytes are diffed against a
+# campaign that was never interrupted. A single run gets the same
+# treatment through SIGTERM -> exit 75 -> --restore.
+# Run from the repo root: tools/ci_kill_resume.sh [build-dir]
+set -eu
+
+builddir="${1:-build}"
+sim="$builddir/tools/morphcache_sim"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+campaign_args="--sweep --mixes 1-6 --cores 8 --epochs 5 \
+    --refs 20000 --seed 9 --ckpt-every 1 -j4"
+
+# Reference: the campaign nobody interrupted.
+$sim $campaign_args --manifest "$work/ref.jsonl" \
+    --stats-out "$work/ref.stats" > "$work/ref.out"
+
+# Seeded kill point: derive the delay (0.30s..1.29s) from the seed
+# so reruns of the same commit kill at the same wall-clock offset.
+frac=$(awk 'BEGIN { srand(9); printf "%.2f", 0.30 + rand() }')
+echo "killing campaign after ${frac}s"
+
+$sim $campaign_args --manifest "$work/kill.jsonl" \
+    --stats-out "$work/kill.stats" > "$work/kill.out" 2>&1 &
+pid=$!
+sleep "$frac"
+kill -KILL "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# Resume: done cells replay from result files, in-progress cells
+# restore from their checkpoints, the rest run fresh.
+$sim $campaign_args --resume "$work/kill.jsonl" \
+    --stats-out "$work/kill.stats" > "$work/kill.out"
+
+diff "$work/ref.out" "$work/kill.out"
+diff "$work/ref.stats" "$work/kill.stats"
+echo "campaign kill-resume: byte-identical"
+
+# Single-run leg: SIGTERM must checkpoint and exit 75 (resumable),
+# and the resumed run must reproduce stdout, stats, and trace bytes.
+run_args="--workload mix:3 --cores 8 --epochs 6 --refs 60000 \
+    --seed 7"
+$sim $run_args --stats-out "$work/run_ref.stats" \
+    --trace "$work/run_ref.trace" > "$work/run_ref.out"
+
+$sim $run_args --stats-out "$work/run.stats" \
+    --trace "$work/run.trace" \
+    --checkpoint "$work/run.ckpt" --ckpt-every 1 \
+    > "$work/run.out" 2>&1 &
+pid=$!
+sleep "$frac"
+kill -TERM "$pid" 2>/dev/null || true
+set +e
+wait "$pid"
+status=$?
+set -e
+if [ "$status" -ne 75 ] && [ "$status" -ne 0 ]; then
+    echo "interrupted run exited $status (want 75 or 0)" >&2
+    exit 1
+fi
+if [ "$status" -eq 75 ]; then
+    $sim $run_args --stats-out "$work/run.stats" \
+        --trace "$work/run.trace" \
+        --restore "$work/run.ckpt" > "$work/run.out"
+fi
+
+# stdout differs only in the self-referential stats path line.
+sed "s,$work/run\.stats,$work/run_ref.stats," "$work/run.out" \
+    > "$work/run.norm"
+diff "$work/run_ref.out" "$work/run.norm"
+diff "$work/run_ref.stats" "$work/run.stats"
+diff "$work/run_ref.trace" "$work/run.trace"
+echo "single-run kill-resume: byte-identical"
+
+# The inspector must read and structurally verify the final chain.
+"$builddir"/tools/mc_ckpt --verify "$work/run.ckpt" > /dev/null \
+    || { echo "mc_ckpt --verify failed" >&2; exit 1; }
+echo "mc_ckpt --verify: ok"

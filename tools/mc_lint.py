@@ -34,6 +34,15 @@ the repo's source conventions over ``src/``:
     first (proves the header is self-contained), and
     ``<bits/stdc++.h>`` never appears.
 
+``atomic-write``
+    Every file write in ``src/`` goes through the atomic
+    write-then-rename helper (``atomicWriteFile`` in
+    ``src/common/serial.cc``) or a sanctioned streaming sink
+    (stats/report/trace writers, the append-only campaign
+    manifest). A plain ``fopen(..., "w")`` elsewhere can leave a
+    torn file behind a crash, which the checkpoint/restore
+    subsystem (DESIGN.md section 11) is built to rule out.
+
 Exit status: 0 when clean, 1 when any finding is reported, 2 on
 usage errors. Stdlib only; no third-party dependencies.
 """
@@ -50,13 +59,34 @@ DETERMINISM_ALLOW = {
     # Telemetry-only steady_clock reads; relaxed-atomic counters that
     # never feed simulation inputs (DESIGN.md section 9 rule 2).
     "src/stats/profiler.hh",
+    # Wall-clock watchdog deadlines and retry backoff sleeps: they
+    # decide *whether* a cell runs again, never what it computes, so
+    # result bytes stay schedule-independent.
+    "src/runner/campaign.cc",
 }
 GLOBALS_ALLOW = {
     # Process-wide log level/sink: atomics + a dispatch mutex,
     # carrying diagnostics only.
     "src/common/logging.cc",
+    # The SIGINT/SIGTERM interrupt flag: signal handlers can only
+    # touch a volatile sig_atomic_t at namespace scope, and it gates
+    # shutdown, never simulated values.
+    "src/ckpt/ckpt.cc",
 }
 STATS_BYPASS_ALLOW: set[str] = set()
+ATOMIC_WRITE_ALLOW = {
+    # The atomic write-then-rename primitive itself.
+    "src/common/serial.cc",
+    # Sanctioned streaming sinks: registry/report dumps and trace
+    # streams are observability outputs, rewritten whole on resume.
+    "src/stats/registry.cc",
+    "src/stats/report.cc",
+    "src/stats/tracing.cc",
+    # The campaign manifest is an append-only event log; atomic
+    # rename cannot express "durably append one event", so it is a
+    # sanctioned sink with crash-torn lines handled by the reader.
+    "src/runner/campaign.cc",
+}
 
 DETERMINISM_PATTERNS = [
     (re.compile(r"(?<![\w.:>])s?rand\s*\("), "libc rand()/srand()"),
@@ -162,6 +192,26 @@ def check_determinism(path: str, code: str) -> list[Finding]:
                     path, lineno, "determinism",
                     f"{what} in simulation code; derive values from "
                     "seeds/cycles (DESIGN.md section 9)"))
+    return findings
+
+
+# Write-mode fopen (the mode is a string literal, so this check runs
+# on the raw text, not the literal-stripped code) and stream writers.
+_WRITE_FOPEN = re.compile(r'fopen\s*\([^;]+,\s*"[wa]b?\+?"\s*\)')
+_WRITE_STREAM = re.compile(r"\bstd\s*::\s*o?fstream\b")
+
+
+def check_atomic_write(path: str, raw: str) -> list[Finding]:
+    if path in ATOMIC_WRITE_ALLOW:
+        return []
+    findings = []
+    for lineno, line in enumerate(raw.splitlines(), 1):
+        if _WRITE_FOPEN.search(line) or _WRITE_STREAM.search(line):
+            findings.append(Finding(
+                path, lineno, "atomic-write",
+                "file write bypasses atomicWriteFile(); durable "
+                "state must go through the write-then-rename helper "
+                "or a sanctioned sink (stats/tracing/manifest)"))
     return findings
 
 
@@ -326,6 +376,7 @@ def lint_file(path: str, repo_root: str) -> list[Finding]:
     findings += check_determinism(path, code)
     findings += check_globals(path, code)
     findings += check_stats_bypass(path, code)
+    findings += check_atomic_write(path, raw)
     findings += check_includes(path, raw, repo_root)
     return findings
 

@@ -33,6 +33,26 @@
  *     with --stats-out FILE, writes a JSON array holding every
  *     cell's stats registry, in cell order
  *
+ * Checkpoint/restore and resumable campaigns:
+ *     --checkpoint FILE  write checkpoints to FILE (atomic
+ *                        write-then-rename; previous kept as .prev)
+ *     --restore FILE     restore from FILE (falls back to .prev)
+ *                        before running; resumed output is
+ *                        byte-identical to an uninterrupted run
+ *     --ckpt-every N     checkpoint every N recorded epochs
+ *                        (default: only at interrupt/completion)
+ *     --manifest FILE    with --sweep: run as a resumable campaign
+ *                        recording progress in a JSONL manifest
+ *                        (state dir FILE.d/)
+ *     --resume FILE      resume a campaign manifest: done cells are
+ *                        replayed from result files, in-progress
+ *                        cells restore from their checkpoints
+ *     --retry-cells K    extra tries for failed cells (exponential
+ *                        backoff)
+ *     --cell-timeout SEC wall-clock watchdog per cell try
+ *     SIGINT/SIGTERM checkpoint in-flight state and exit 75
+ *     (resumable); rerun with --restore / --resume to finish.
+ *
  * Observability options:
  *     --trace FILE       decision-provenance event trace
  *     --trace-format F   jsonl (default) | chrome (about://tracing)
@@ -67,6 +87,7 @@
  */
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,8 +97,11 @@
 
 #include "check/fault.hh"
 #include "check/invariant.hh"
+#include "ckpt/ckpt.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "runner/campaign.hh"
+#include "runner/run_factory.hh"
 #include "runner/sim_sweep.hh"
 #include "sim/config.hh"
 #include "sim/simulation.hh"
@@ -93,18 +117,10 @@ namespace {
 
 struct Options
 {
-    std::string workload = "mix:8";
-    std::string scheme = "morph";
-    std::uint32_t cores = 16;
-    std::uint32_t epochs = 12;
-    std::uint64_t refs = 24000;
-    std::uint64_t seed = 42;
-    bool paperScale = false;
+    /** Everything that changes simulated behaviour. */
+    RunSpec spec;
     std::string csvPath;
     std::string recordPath;
-    std::string checkPolicy = "off";
-    std::uint32_t quarantine = 4;
-    FaultConfig faults;
     std::string tracePath;
     std::string traceFormat = "jsonl";
     std::string traceSummaryPath;
@@ -117,6 +133,20 @@ struct Options
     std::uint32_t sweepSeeds = 1;
     /** Worker threads; 0 = hardware_concurrency. */
     unsigned jobs = 0;
+    /** Single-run: write checkpoints to this path. */
+    std::string checkpointPath;
+    /** Single-run: restore from this checkpoint chain first. */
+    std::string restorePath;
+    /** Checkpoint every N recorded epochs (0 = end/interrupt only). */
+    std::uint32_t ckptEvery = 0;
+    /** Campaign mode: fresh manifest path. */
+    std::string manifestPath;
+    /** Campaign mode: resume an existing manifest. */
+    std::string resumePath;
+    /** Campaign: extra tries per failed cell. */
+    std::uint32_t retryCells = 0;
+    /** Campaign: per-cell wall-clock watchdog, seconds. */
+    double cellTimeoutSec = 0.0;
 };
 
 /**
@@ -163,7 +193,11 @@ usage(const char *argv0)
                  "          [--stats-out FILE] [--stats-epochs] "
                  "[--profile] [-v] [-q]\n"
                  "          [--sweep] [--mixes A-B] [--sweep-seeds "
-                 "K] [--jobs N]\n",
+                 "K] [--jobs N]\n"
+                 "          [--checkpoint FILE] [--restore FILE] "
+                 "[--ckpt-every N]\n"
+                 "          [--manifest FILE] [--resume FILE] "
+                 "[--retry-cells K] [--cell-timeout SEC]\n",
                  argv0);
     std::exit(2);
 }
@@ -193,48 +227,68 @@ parseArgs(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--workload") {
-            opts.workload = value();
+            opts.spec.workload = value();
         } else if (arg == "--scheme") {
-            opts.scheme = value();
+            opts.spec.scheme = value();
         } else if (arg == "--cores") {
-            opts.cores = static_cast<std::uint32_t>(
+            opts.spec.cores = static_cast<std::uint32_t>(
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--epochs") {
-            opts.epochs = static_cast<std::uint32_t>(
+            opts.spec.epochs = static_cast<std::uint32_t>(
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--refs") {
-            opts.refs = std::strtoull(value().c_str(), nullptr, 10);
+            opts.spec.refs =
+                std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--seed") {
-            opts.seed = std::strtoull(value().c_str(), nullptr, 10);
+            opts.spec.seed =
+                std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--paper-scale") {
-            opts.paperScale = true;
+            opts.spec.paperScale = true;
         } else if (arg == "--csv") {
             opts.csvPath = value();
         } else if (arg == "--record") {
             opts.recordPath = value();
         } else if (arg == "--check") {
-            opts.checkPolicy = value();
+            opts.spec.checkPolicy = value();
         } else if (arg == "--quarantine") {
-            opts.quarantine = static_cast<std::uint32_t>(
+            opts.spec.quarantine = static_cast<std::uint32_t>(
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--inject-seed") {
-            opts.faults.seed =
+            opts.spec.faults.seed =
                 std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--inject-acfv") {
-            opts.faults.acfvFlipsPerEpoch =
+            opts.spec.faults.acfvFlipsPerEpoch =
                 static_cast<std::uint32_t>(
                     std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--inject-class") {
-            opts.faults.classificationFlipChance =
+            opts.spec.faults.classificationFlipChance =
                 std::strtod(value().c_str(), nullptr);
         } else if (arg == "--inject-illegal") {
-            opts.faults.illegalTopologyChance =
+            opts.spec.faults.illegalTopologyChance =
                 std::strtod(value().c_str(), nullptr);
         } else if (arg == "--inject-bus-drop") {
-            opts.faults.busDropChance =
+            opts.spec.faults.busDropChance =
                 std::strtod(value().c_str(), nullptr);
         } else if (arg == "--inject-bus-delay") {
-            opts.faults.busDelayChance =
+            opts.spec.faults.busDelayChance =
+                std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--checkpoint") {
+            opts.checkpointPath = value();
+        } else if (arg == "--restore") {
+            opts.restorePath = value();
+        } else if (arg == "--ckpt-every") {
+            opts.ckptEvery = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--manifest") {
+            opts.manifestPath = value();
+        } else if (arg == "--resume") {
+            opts.resumePath = value();
+            opts.sweep = true;
+        } else if (arg == "--retry-cells") {
+            opts.retryCells = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--cell-timeout") {
+            opts.cellTimeoutSec =
                 std::strtod(value().c_str(), nullptr);
         } else if (arg == "--trace") {
             opts.tracePath = value();
@@ -307,89 +361,99 @@ parseArgs(int argc, char **argv)
     return opts;
 }
 
-std::unique_ptr<Workload>
-makeWorkload(const Options &opts, const GeneratorParams &gen,
-             bool &shared_space)
-{
-    shared_space = false;
-    const auto colon = opts.workload.find(':');
-    if (colon == std::string::npos)
-        fatal("bad --workload '%s'", opts.workload.c_str());
-    const std::string kind = opts.workload.substr(0, colon);
-    const std::string spec = opts.workload.substr(colon + 1);
-
-    if (kind == "mix") {
-        char name[16];
-        std::snprintf(name, sizeof(name), "MIX %02d",
-                      std::atoi(spec.c_str()));
-        MixSpec mix = mixByName(name);
-        if (opts.cores < mix.benchmarks.size())
-            mix.benchmarks.resize(opts.cores);
-        return std::make_unique<MixWorkload>(mix, gen, opts.seed);
-    }
-    if (kind == "parsec") {
-        const BenchmarkProfile &profile = profileByName(spec);
-        if (!profile.multithreaded)
-            fatal("'%s' is not a PARSEC benchmark", spec.c_str());
-        shared_space = true;
-        return std::make_unique<MultithreadedWorkload>(
-            profile, opts.cores, gen, opts.seed);
-    }
-    if (kind == "trace") {
-        Trace trace = readTrace(spec);
-        return std::make_unique<TraceWorkload>(std::move(trace));
-    }
-    fatal("unknown workload kind '%s'", kind.c_str());
-}
-
 MorphConfig
-morphConfigFromOpts(const Options &opts, bool shared_space)
+morphConfigFromSpec(const RunSpec &spec, bool shared_space)
 {
     MorphConfig config;
     config.sharedAddressSpace = shared_space;
-    config.checkPolicy = checkPolicyFromName(opts.checkPolicy);
-    config.quarantineCleanEpochs = opts.quarantine;
-    config.faults = opts.faults;
+    config.checkPolicy = checkPolicyFromName(spec.checkPolicy);
+    config.quarantineCleanEpochs = spec.quarantine;
+    config.faults = spec.faults;
     return config;
 }
 
-std::unique_ptr<MemorySystem>
-makeSystem(const Options &opts, const HierarchyParams &hier,
-           bool shared_space, const MorphCacheSystem **morph_out)
+/**
+ * SIGINT/SIGTERM raise the ckpt interrupt flag; run loops notice it
+ * at the next epoch boundary, flush manifest/checkpoint state, and
+ * exit with ckptResumableExit.
+ */
+extern "C" void
+handleInterruptSignal(int)
 {
-    std::unique_ptr<MemorySystem> system =
-        makeSchemeSystem(opts.scheme, hier, opts.cores,
-                         morphConfigFromOpts(opts, shared_space));
-    *morph_out =
-        dynamic_cast<const MorphCacheSystem *>(system.get());
-    return system;
+    requestCkptInterrupt();
+}
+
+/** Per-cell RunSpec for campaign cell `index` sweeping mix `m`. */
+RunSpec
+campaignCellSpec(const Options &opts, std::uint32_t m,
+                 std::uint64_t cell_index)
+{
+    RunSpec spec = opts.spec;
+    char workload[16];
+    std::snprintf(workload, sizeof(workload), "mix:%u", m);
+    spec.workload = workload;
+    spec.seed = sweepCellSeed(opts.spec.seed, cell_index);
+    return spec;
 }
 
 /**
- * Canonical run-configuration description hashed into the
- * `config=<hash>` half of the reproducibility stamp. Everything
- * that changes simulated behaviour belongs here.
+ * Campaign mode: the crash-resilient cousin of --sweep. Cells,
+ * labels, and seeds mirror runSweep exactly, but progress is
+ * durable in the manifest and per-cell checkpoints, so a killed
+ * campaign resumed with --resume finishes with identical bytes.
  */
-std::string
-configDescription(const Options &opts)
+int
+runCampaignMode(const Options &opts)
 {
-    char buf[512];
-    std::snprintf(
-        buf, sizeof(buf),
-        "workload=%s scheme=%s cores=%u epochs=%u refs=%llu "
-        "paperScale=%d check=%s quarantine=%u injectSeed=%llu "
-        "injectAcfv=%u injectClass=%g injectIllegal=%g "
-        "injectBusDrop=%g injectBusDelay=%g",
-        opts.workload.c_str(), opts.scheme.c_str(), opts.cores,
-        opts.epochs, static_cast<unsigned long long>(opts.refs),
-        opts.paperScale ? 1 : 0, opts.checkPolicy.c_str(),
-        opts.quarantine,
-        static_cast<unsigned long long>(opts.faults.seed),
-        opts.faults.acfvFlipsPerEpoch,
-        opts.faults.classificationFlipChance,
-        opts.faults.illegalTopologyChance, opts.faults.busDropChance,
-        opts.faults.busDelayChance);
-    return buf;
+    CampaignOptions copts;
+    copts.resume = !opts.resumePath.empty();
+    copts.manifestPath =
+        copts.resume ? opts.resumePath : opts.manifestPath;
+    copts.jobs = opts.jobs;
+    copts.ckptEvery = opts.ckptEvery;
+    copts.retryCells = opts.retryCells;
+    copts.cellTimeoutSec = opts.cellTimeoutSec;
+    copts.wantStatsJson = !opts.statsOutPath.empty();
+
+    std::vector<CampaignCell> cells;
+    std::uint64_t cell_index = 0;
+    for (std::uint32_t rep = 0; rep < opts.sweepSeeds; ++rep) {
+        for (std::uint32_t m = opts.mixLo; m <= opts.mixHi; ++m) {
+            CampaignCell cell;
+            cell.spec = campaignCellSpec(opts, m, cell_index);
+            char label[64];
+            std::snprintf(
+                label, sizeof(label), "mix:%02u seed=%llu", m,
+                static_cast<unsigned long long>(cell.spec.seed));
+            cell.label = label;
+            cells.push_back(std::move(cell));
+            ++cell_index;
+        }
+    }
+
+    const CampaignReport report = runCampaign(cells, copts);
+    if (report.interrupted) {
+        std::fprintf(stderr,
+                     "campaign interrupted; resume with --resume "
+                     "%s\n",
+                     copts.manifestPath.c_str());
+        return ckptResumableExit;
+    }
+
+    std::printf("%s", report.reportText.c_str());
+    if (!opts.statsOutPath.empty()) {
+        FILE *out = std::fopen(opts.statsOutPath.c_str(), "w");
+        if (!out)
+            fatal("cannot write '%s'", opts.statsOutPath.c_str());
+        std::fwrite(report.statsJsonArray.data(), 1,
+                    report.statsJsonArray.size(), out);
+        std::fclose(out);
+        // The path differs between runs being diffed, so this
+        // confirmation stays out of the deterministic stdout stream.
+        std::fprintf(stderr, "stats registries written to %s\n",
+                     opts.statsOutPath.c_str());
+    }
+    return report.failed == 0 ? 0 : 1;
 }
 
 /**
@@ -401,15 +465,19 @@ configDescription(const Options &opts)
 int
 runSweep(const Options &opts)
 {
-    const HierarchyParams hier = opts.paperScale
-                                     ? paperScaleHierarchy(opts.cores)
-                                     : fastScaleHierarchy(opts.cores);
+    if (!opts.manifestPath.empty() || !opts.resumePath.empty())
+        return runCampaignMode(opts);
+
+    const HierarchyParams hier =
+        opts.spec.paperScale
+            ? paperScaleHierarchy(opts.spec.cores)
+            : fastScaleHierarchy(opts.spec.cores);
     const GeneratorParams gen = generatorFor(hier);
     SimParams sim;
-    sim.epochs = opts.epochs;
-    sim.refsPerEpochPerCore = opts.refs;
+    sim.epochs = opts.spec.epochs;
+    sim.refsPerEpochPerCore = opts.spec.refs;
 
-    const std::string base_desc = configDescription(opts);
+    const std::string base_desc = describe(opts.spec);
 
     std::vector<std::unique_ptr<Workload>> prototypes;
     std::vector<SimCellSpec> cells;
@@ -417,12 +485,12 @@ runSweep(const Options &opts)
     for (std::uint32_t rep = 0; rep < opts.sweepSeeds; ++rep) {
         for (std::uint32_t m = opts.mixLo; m <= opts.mixHi; ++m) {
             const std::uint64_t seed =
-                sweepCellSeed(opts.seed, cell_index);
+                sweepCellSeed(opts.spec.seed, cell_index);
             char name[16];
             std::snprintf(name, sizeof(name), "MIX %02d", m);
             MixSpec mix = mixByName(name);
-            if (opts.cores < mix.benchmarks.size())
-                mix.benchmarks.resize(opts.cores);
+            if (opts.spec.cores < mix.benchmarks.size())
+                mix.benchmarks.resize(opts.spec.cores);
             prototypes.push_back(
                 std::make_unique<MixWorkload>(mix, gen, seed));
 
@@ -433,10 +501,10 @@ runSweep(const Options &opts)
                           static_cast<unsigned long long>(seed));
             spec.label = label;
             spec.workload = prototypes.back().get();
-            spec.scheme = opts.scheme;
+            spec.scheme = opts.spec.scheme;
             spec.hier = hier;
             spec.sim = sim;
-            spec.morph = morphConfigFromOpts(opts, false);
+            spec.morph = morphConfigFromSpec(opts.spec, false);
             spec.seed = seed;
             char desc[640];
             std::snprintf(desc, sizeof(desc), "%s cell=%llu mix=%u",
@@ -460,7 +528,7 @@ runSweep(const Options &opts)
     std::printf("sweep      : %zu cells (mixes %u-%u x %u seeds), "
                 "scheme %s\n",
                 cells.size(), opts.mixLo, opts.mixHi,
-                opts.sweepSeeds, opts.scheme.c_str());
+                opts.sweepSeeds, opts.spec.scheme.c_str());
     std::size_t failed = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &cell = results[i];
@@ -476,7 +544,7 @@ runSweep(const Options &opts)
                     "performance=%.6f final=%s",
                     i, r.label.c_str(), r.run.avgThroughput,
                     r.run.performance, r.finalTopology.c_str());
-        if (opts.scheme == "morph") {
+        if (opts.spec.scheme == "morph") {
             std::printf(" merges=%llu splits=%llu",
                         static_cast<unsigned long long>(
                             r.reconfig.merges),
@@ -539,39 +607,31 @@ run(const Options &opts)
     if (opts.sweep)
         return runSweep(opts);
 
-    HierarchyParams hier = opts.paperScale
-                               ? paperScaleHierarchy(opts.cores)
-                               : fastScaleHierarchy(opts.cores);
-    const GeneratorParams gen = generatorFor(hier);
-
-    bool shared_space = false;
-    std::unique_ptr<Workload> workload =
-        makeWorkload(opts, gen, shared_space);
-    hier.coherence = shared_space;
+    BuiltRun built = buildRun(opts.spec);
+    Workload *workload = built.workload.get();
+    MemorySystem *system = built.system.get();
+    const MorphCacheSystem *morph =
+        dynamic_cast<const MorphCacheSystem *>(system);
 
     if (!opts.recordPath.empty()) {
-        const Trace trace =
-            recordTrace(*workload, opts.epochs, opts.refs);
+        const Trace trace = recordTrace(*workload, opts.spec.epochs,
+                                        opts.spec.refs);
         writeTrace(trace, opts.recordPath);
         std::printf("recorded %llu references (%u epochs x %u "
                     "cores) to %s\n",
                     static_cast<unsigned long long>(
                         trace.totalReferences()),
-                    opts.epochs, workload->numCores(),
+                    opts.spec.epochs, workload->numCores(),
                     opts.recordPath.c_str());
         return 0;
     }
 
-    const MorphCacheSystem *morph = nullptr;
-    std::unique_ptr<MemorySystem> system =
-        makeSystem(opts, hier, shared_space, &morph);
-
     const std::string config_hash =
-        configHashHex(configDescription(opts));
+        configHashHex(describe(opts.spec));
 
     StatsRegistry registry;
     StatsMeta meta;
-    meta.seed = opts.seed;
+    meta.seed = opts.spec.seed;
     meta.configHash = config_hash;
     registry.setMeta(meta);
     system->registerStats(registry);
@@ -582,26 +642,113 @@ run(const Options &opts)
     }
     Profiler::global().registerStats(registry);
 
+    // Checkpoints resume only the JSONL trace format (the Chrome
+    // sink buffers an array it cannot reopen mid-stream).
+    const bool jsonl_trace =
+        !opts.tracePath.empty() && opts.traceFormat == "jsonl";
+    const bool want_ckpt =
+        !opts.checkpointPath.empty() || !opts.restorePath.empty();
+    if (want_ckpt && !opts.tracePath.empty() && !jsonl_trace)
+        fatal("--checkpoint/--restore require --trace-format jsonl");
+
+    // The sink is created *after* restore so a resumed JSONL trace
+    // can truncate back to the checkpointed byte offset.
     std::unique_ptr<TraceSink> sink;
-    if (!opts.tracePath.empty()) {
+    Tracer tracer;
+    TraceLogSink log_sink(tracer);
+
+    Simulation simulation(*system, *workload, built.sim);
+    simulation.setRegistry(&registry);
+
+    CkptRunState state;
+    state.simulation = &simulation;
+    state.system = system;
+    state.workload = workload;
+    state.registry = &registry;
+    if (jsonl_trace)
+        state.tracer = &tracer;
+
+    std::uint64_t last_ckpt = 0;
+    if (!opts.restorePath.empty()) {
+        const RestoreOutcome outcome =
+            restoreCheckpointChain(opts.restorePath, opts.spec,
+                                   state);
+        last_ckpt = outcome.epochsCompleted;
+        inform("restored %llu recorded epochs from %s",
+               static_cast<unsigned long long>(
+                   outcome.epochsCompleted),
+               outcome.pathUsed.c_str());
+        if (jsonl_trace) {
+            sink = std::make_unique<JsonlTraceSink>(
+                opts.tracePath, outcome.traceByteOffset);
+        }
+    } else if (!opts.tracePath.empty()) {
         if (opts.traceFormat == "chrome")
             sink = std::make_unique<ChromeTraceSink>(opts.tracePath);
         else
             sink = std::make_unique<JsonlTraceSink>(opts.tracePath);
     }
-    Tracer tracer(sink.get());
-    TraceLogSink log_sink(tracer);
-    if (sink)
+    tracer.setSink(sink.get());
+    if (sink) {
         setLogSink(&log_sink);
-
-    SimParams sim;
-    sim.epochs = opts.epochs;
-    sim.refsPerEpochPerCore = opts.refs;
-    Simulation simulation(*system, *workload, sim);
-    simulation.setRegistry(&registry);
-    if (sink)
         simulation.setTracer(&tracer);
-    const RunResult result = simulation.run();
+    }
+
+    // Checkpoints default to the restore path so `--restore X`
+    // alone keeps extending the same chain.
+    const std::string ckpt_path = !opts.checkpointPath.empty()
+                                      ? opts.checkpointPath
+                                      : opts.restorePath;
+    auto flushCheckpoint = [&]() {
+        if (jsonl_trace && sink) {
+            state.traceByteOffset =
+                static_cast<JsonlTraceSink *>(sink.get())
+                    ->byteOffset();
+        }
+        writeCheckpoint(ckpt_path, opts.spec, state);
+        last_ckpt = simulation.recordedEpochs();
+    };
+
+    bool interrupted = false;
+    while (!simulation.done()) {
+        if (ckptInterruptRequested()) {
+            interrupted = true;
+            break;
+        }
+        simulation.stepEpoch();
+        if (!ckpt_path.empty() && opts.ckptEvery > 0 &&
+            simulation.recordedEpochs() >=
+                last_ckpt + opts.ckptEvery) {
+            flushCheckpoint();
+        }
+    }
+
+    if (interrupted && !simulation.done()) {
+        if (!ckpt_path.empty()) {
+            flushCheckpoint();
+            std::fprintf(stderr,
+                         "interrupted: checkpoint written; resume "
+                         "with --restore %s\n",
+                         ckpt_path.c_str());
+        } else {
+            std::fprintf(
+                stderr,
+                "interrupted (no --checkpoint path; progress "
+                "lost)\n");
+        }
+        if (sink) {
+            setLogSink(nullptr);
+            sink->finish();
+        }
+        return ckptResumableExit;
+    }
+
+    // Final checkpoint: lets the chain be inspected/verified after
+    // the run and makes `--restore` of a finished run a no-op.
+    if (!opts.checkpointPath.empty())
+        flushCheckpoint();
+
+    const RunResult result = simulation.finish();
 
     if (sink) {
         setLogSink(nullptr);
@@ -612,7 +759,7 @@ run(const Options &opts)
     }
 
     std::printf("workload   : %s (%u cores)\n",
-                opts.workload.c_str(), workload->numCores());
+                opts.spec.workload.c_str(), workload->numCores());
     std::printf("scheme     : %s\n", system->name().c_str());
     std::printf("throughput : %.4f IPC (sum over cores)\n",
                 result.avgThroughput);
@@ -645,7 +792,7 @@ run(const Options &opts)
     std::printf("%s\n", summaryLine(tput).c_str());
     if (!opts.csvPath.empty()) {
         CsvMeta csv_meta;
-        csv_meta.seed = opts.seed;
+        csv_meta.seed = opts.spec.seed;
         csv_meta.configHash = config_hash;
         writeCsv(opts.csvPath, {tput, misses}, &csv_meta);
         std::printf("per-epoch series written to %s\n",
@@ -678,6 +825,8 @@ int
 main(int argc, char **argv)
 {
     const Options opts = parseArgs(argc, argv);
+    std::signal(SIGINT, handleInterruptSignal);
+    std::signal(SIGTERM, handleInterruptSignal);
     try {
         return run(opts);
     } catch (const SimError &err) {
