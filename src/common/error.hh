@@ -54,6 +54,18 @@ class CkptError : public SimError
     explicit CkptError(const std::string &what) : SimError(what) {}
 };
 
+/**
+ * A campaign lease operation failed: the lease was lost to another
+ * worker (stale-lease fencing rejected a write), a claim raced, or
+ * a lease file could not be created. Workers treat it as "this cell
+ * is no longer mine" and move on; it never aborts a campaign.
+ */
+class LeaseError : public SimError
+{
+  public:
+    explicit LeaseError(const std::string &what) : SimError(what) {}
+};
+
 } // namespace morphcache
 
 #endif // MORPHCACHE_COMMON_ERROR_HH

@@ -1,22 +1,116 @@
 #include "common/serial.hh"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace morphcache {
+
+namespace {
+
+/**
+ * fsync gate: durability is on unless MC_NO_FSYNC is set in the
+ * environment (the test-suite escape hatch — thousands of tiny
+ * checkpoint writes do not need to survive a power cut). Read once;
+ * the gate cannot change mid-process.
+ */
+bool
+fsyncConfigured()
+{
+    const char *env = std::getenv("MC_NO_FSYNC");
+    return env == nullptr || *env == '\0' || *env == '0';
+}
+
+std::atomic<std::uint64_t> &
+fsyncCounter()
+{
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+}
+
+/**
+ * Durably persist the rename that published `path`: fsync its
+ * containing directory, without which a power loss can forget the
+ * directory entry even though the file's blocks reached the disk.
+ */
+void
+fsyncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                          O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        throw CkptError("'" + dir + "': cannot open directory for "
+                        "fsync: " + std::strerror(errno));
+    }
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) {
+        throw CkptError("'" + dir + "': directory fsync failed: " +
+                        std::strerror(errno));
+    }
+    fsyncCounter().fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool
+fsyncEnabled()
+{
+    static const bool enabled = fsyncConfigured();
+    return enabled;
+}
+
+std::uint64_t
+fsyncCount()
+{
+    return fsyncCounter().load(std::memory_order_relaxed);
+}
+
+int
+fsyncFile(std::FILE *file)
+{
+    if (std::fflush(file) != 0)
+        return -1;
+    if (!fsyncEnabled())
+        return 0;
+    const int result = ::fsync(::fileno(file));
+    if (result == 0)
+        fsyncCounter().fetch_add(1, std::memory_order_relaxed);
+    return result;
+}
 
 void
 atomicWriteFile(const std::string &path, const void *data,
                 std::size_t size)
 {
-    const std::string tmp = path + ".tmp";
+    // The pid suffix keeps concurrent writer *processes* (campaign
+    // workers renewing leases, rewriting results) off each other's
+    // scratch files, and the sequence keeps concurrent *threads*
+    // apart — two claim threads of one worker can legitimately race
+    // to checkpoint the same cell after a stalled heartbeat let a
+    // sibling steal it. The rename is what serializes them.
+    static std::atomic<std::uint64_t> seq{0};
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(seq.fetch_add(1));
     std::FILE *file = std::fopen(tmp.c_str(), "wb");
     if (!file)
         throw CkptError("'" + tmp + "': cannot open for writing: " +
                         std::strerror(errno));
     bool ok = size == 0 || std::fwrite(data, 1, size, file) == size;
-    ok = std::fflush(file) == 0 && ok;
+    // fsync before rename: without it a crash after the rename can
+    // publish an empty or torn file under the final name, which
+    // torn-line tolerance downstream would then silently skip.
+    ok = fsyncFile(file) == 0 && ok;
     ok = std::fclose(file) == 0 && ok;
     if (!ok) {
         std::remove(tmp.c_str());
@@ -28,6 +122,8 @@ atomicWriteFile(const std::string &path, const void *data,
         throw CkptError("'" + tmp + "': cannot rename to '" + path +
                         "': " + std::strerror(errno));
     }
+    if (fsyncEnabled())
+        fsyncParentDir(path);
 }
 
 std::vector<std::uint8_t>

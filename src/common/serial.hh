@@ -13,10 +13,13 @@
  * pattern as TraceReader in src/workload/trace.cc).
  *
  * atomicWriteFile() is the sanctioned durability primitive: write to
- * `<path>.tmp`, flush, then std::rename() over the destination, so a
- * crash mid-write leaves either the old file or the new one, never a
- * torn hybrid. mc_lint's `atomic-write` rule enforces that src/ file
- * writes go through it (or a sanctioned streaming sink).
+ * `<path>.tmp.<pid>`, flush + fsync, std::rename() over the
+ * destination, then fsync the containing directory — so a crash (or
+ * power loss) mid-write leaves either the old file or the new one,
+ * never a torn hybrid and never an empty rename ghost. mc_lint's
+ * `atomic-write` rule enforces that src/ file writes go through it
+ * (or a sanctioned streaming sink). Setting MC_NO_FSYNC in the
+ * environment skips the fsyncs (test-suite escape hatch).
  */
 
 #ifndef MORPHCACHE_COMMON_SERIAL_HH
@@ -25,6 +28,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -321,13 +325,37 @@ class CkptReader
 };
 
 /**
- * Durably write `size` bytes to `path` via write-then-rename:
- * the data lands in `<path>.tmp` first and is renamed over the
- * destination only after a successful flush, so readers never see a
- * torn file. Throws CkptError on any I/O failure.
+ * Durably write `size` bytes to `path` via write-then-rename: the
+ * data lands in `<path>.tmp.<pid>` first (pid-unique, so concurrent
+ * worker processes never share a scratch file) and is renamed over
+ * the destination only after a successful flush + fsync; the
+ * containing directory is fsynced after the rename so the entry
+ * itself survives power loss. Readers never see a torn file. Throws
+ * CkptError on any I/O failure.
  */
 void atomicWriteFile(const std::string &path, const void *data,
                      std::size_t size);
+
+/**
+ * Whether fsync-backed durability is active (true unless the
+ * MC_NO_FSYNC environment variable was set at first use).
+ */
+bool fsyncEnabled();
+
+/**
+ * Process-wide count of fsync calls issued by the durability
+ * primitives (files + directories). Exists so tests can prove the
+ * fsync path actually runs — and that MC_NO_FSYNC suppresses it.
+ */
+std::uint64_t fsyncCount();
+
+/**
+ * Flush `file` and fsync it (subject to the MC_NO_FSYNC gate).
+ * Returns 0 on success, -1 with errno set on failure. For the
+ * sanctioned streaming appenders (campaign manifest) that cannot
+ * use write-then-rename.
+ */
+int fsyncFile(std::FILE *file);
 
 inline void
 atomicWriteFile(const std::string &path,

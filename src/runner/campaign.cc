@@ -5,330 +5,19 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <functional>
-#include <memory>
-#include <mutex>
 #include <thread>
 
 #include "ckpt/ckpt.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
-#include "runner/run_factory.hh"
+#include "common/serial.hh"
+#include "runner/executor.hh"
 #include "runner/sweep.hh"
-#include "sim/simulation.hh"
-#include "stats/registry.hh"
 
 namespace morphcache {
 
 namespace {
-
-/** Thrown out of a cell when the interrupt flag is raised. */
-struct CampaignInterrupted
-{
-};
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** Find `"key":` in one of our own single-line records. */
-std::size_t
-findKey(const std::string &text, const char *key)
-{
-    const std::string token = std::string("\"") + key + "\":";
-    return text.find(token) == std::string::npos
-               ? std::string::npos
-               : text.find(token) + token.size();
-}
-
-bool
-fieldU64(const std::string &text, const char *key,
-         std::uint64_t &out)
-{
-    const std::size_t at = findKey(text, key);
-    if (at == std::string::npos)
-        return false;
-    out = std::strtoull(text.c_str() + at, nullptr, 10);
-    return true;
-}
-
-bool
-fieldF64(const std::string &text, const char *key, double &out)
-{
-    const std::size_t at = findKey(text, key);
-    if (at == std::string::npos)
-        return false;
-    out = std::strtod(text.c_str() + at, nullptr);
-    return true;
-}
-
-bool
-fieldStr(const std::string &text, const char *key, std::string &out)
-{
-    std::size_t at = findKey(text, key);
-    if (at == std::string::npos || at >= text.size() ||
-        text[at] != '"') {
-        return false;
-    }
-    ++at;
-    out.clear();
-    while (at < text.size() && text[at] != '"') {
-        char c = text[at];
-        if (c == '\\' && at + 1 < text.size()) {
-            ++at;
-            const char e = text[at];
-            c = e == 'n' ? '\n' : e == 't' ? '\t' : e;
-        }
-        out += c;
-        ++at;
-    }
-    return at < text.size();
-}
-
-std::string
-cellCkptPath(const std::string &dir, std::size_t i)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "/cell%04zu.ckpt", i);
-    return dir + buf;
-}
-
-std::string
-cellResultPath(const std::string &dir, std::size_t i)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "/cell%04zu.result.json", i);
-    return dir + buf;
-}
-
-bool
-fileExists(const std::string &path)
-{
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    std::fclose(f);
-    return true;
-}
-
-std::string
-hex64(std::uint64_t v)
-{
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
-
-/** Identity of a campaign: its cell labels, specs, and seeds. */
-std::uint64_t
-campaignHash(const std::vector<CampaignCell> &cells)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const CampaignCell &cell : cells) {
-        const std::string item = cell.label + "\n" +
-                                 describe(cell.spec) + "\nseed=" +
-                                 std::to_string(cell.spec.seed) +
-                                 "\n";
-        h = fnv1a64(item.data(), item.size(), h);
-    }
-    return h;
-}
-
-/** What one completed (or terminally failed) cell produced. */
-struct CellOutcome
-{
-    bool ok = false;
-    bool failed = false;
-    std::string label;
-    std::uint64_t seed = 0;
-    std::uint64_t attempts = 0;
-    double throughput = 0.0;
-    double performance = 0.0;
-    std::string finalTopology;
-    std::uint64_t merges = 0;
-    std::uint64_t splits = 0;
-    std::string statsJson;
-    std::string error;
-};
-
-/**
- * Render an outcome as its durable result record: one JSON line of
- * scalar fields (doubles as %.17g so they re-parse bit-exactly),
- * with the raw stats-registry document nested under "stats".
- */
-std::string
-serializeOutcome(const CellOutcome &o)
-{
-    char num[64];
-    std::string out = "{\"label\":\"" + jsonEscape(o.label) +
-                      "\",\"seed\":" + std::to_string(o.seed) +
-                      ",\"attempts\":" + std::to_string(o.attempts);
-    if (o.failed) {
-        out += ",\"failed\":\"" + jsonEscape(o.error) + "\"}";
-        out += '\n';
-        return out;
-    }
-    std::snprintf(num, sizeof(num), "%.17g", o.throughput);
-    out += std::string(",\"throughput\":") + num;
-    std::snprintf(num, sizeof(num), "%.17g", o.performance);
-    out += std::string(",\"performance\":") + num;
-    out += ",\"finalTopology\":\"" + jsonEscape(o.finalTopology) +
-           "\",\"merges\":" + std::to_string(o.merges) +
-           ",\"splits\":" + std::to_string(o.splits);
-    if (!o.statsJson.empty())
-        out += ",\"stats\":" + o.statsJson;
-    out += "}\n";
-    return out;
-}
-
-CellOutcome
-parseOutcome(const std::string &path, const std::string &text)
-{
-    CellOutcome o;
-    auto need = [&](bool ok, const char *what) {
-        if (!ok) {
-            throw CkptError("'" + path +
-                            "': result record missing field '" +
-                            what + "'");
-        }
-    };
-    need(fieldStr(text, "label", o.label), "label");
-    need(fieldU64(text, "seed", o.seed), "seed");
-    need(fieldU64(text, "attempts", o.attempts), "attempts");
-    if (fieldStr(text, "failed", o.error)) {
-        o.failed = true;
-        return o;
-    }
-    need(fieldF64(text, "throughput", o.throughput), "throughput");
-    need(fieldF64(text, "performance", o.performance),
-         "performance");
-    need(fieldStr(text, "finalTopology", o.finalTopology),
-         "finalTopology");
-    need(fieldU64(text, "merges", o.merges), "merges");
-    need(fieldU64(text, "splits", o.splits), "splits");
-    const std::size_t stats = findKey(text, "stats");
-    if (stats != std::string::npos) {
-        const std::size_t end = text.rfind('}');
-        if (end == std::string::npos || end < stats)
-            throw CkptError("'" + path +
-                            "': malformed stats field");
-        o.statsJson = text.substr(stats, end - stats);
-    }
-    o.ok = true;
-    return o;
-}
-
-/** Manifest fold state of one cell. */
-struct CellProgress
-{
-    std::string status = "pending";
-    std::uint64_t attempts = 0;
-};
-
-std::string
-headerLine(std::size_t cells, std::uint64_t hash)
-{
-    return "{\"type\":\"header\",\"version\":1,\"cells\":" +
-           std::to_string(cells) + ",\"campaignHash\":\"" +
-           hex64(hash) + "\"}\n";
-}
-
-std::vector<CellProgress>
-foldManifest(const std::string &path, std::size_t num_cells,
-             std::uint64_t hash)
-{
-    const std::vector<std::uint8_t> bytes = readFileBytes(path);
-    const std::string text(bytes.begin(), bytes.end());
-
-    std::vector<CellProgress> progress(num_cells);
-    bool sawHeader = false;
-    std::size_t at = 0;
-    while (at < text.size()) {
-        const std::size_t nl = text.find('\n', at);
-        if (nl == std::string::npos) {
-            // Torn final line from a killed writer; the event it
-            // carried is simply replayed by rerunning the cell.
-            warn("campaign manifest '%s': ignoring torn final line",
-                 path.c_str());
-            break;
-        }
-        const std::string line = text.substr(at, nl - at);
-        at = nl + 1;
-
-        std::string type;
-        if (!fieldStr(line, "type", type)) {
-            warn("campaign manifest '%s': ignoring malformed line",
-                 path.c_str());
-            continue;
-        }
-        if (type == "header") {
-            std::uint64_t cells = 0;
-            std::string stamp;
-            if (!fieldU64(line, "cells", cells) ||
-                !fieldStr(line, "campaignHash", stamp)) {
-                throw CkptError("'" + path +
-                                "': malformed manifest header");
-            }
-            if (cells != num_cells) {
-                throw CkptError(
-                    "'" + path + "': manifest describes " +
-                    std::to_string(cells) +
-                    " cells but this campaign has " +
-                    std::to_string(num_cells));
-            }
-            if (stamp != hex64(hash)) {
-                throw CkptError(
-                    "'" + path + "': campaign-hash mismatch: "
-                    "manifest has " + stamp + ", this campaign is " +
-                    hex64(hash));
-            }
-            sawHeader = true;
-            continue;
-        }
-        if (type == "cell") {
-            std::uint64_t index = 0;
-            std::uint64_t attempts = 0;
-            std::string status;
-            if (!fieldU64(line, "index", index) ||
-                !fieldStr(line, "status", status) ||
-                !fieldU64(line, "attempts", attempts) ||
-                index >= num_cells) {
-                warn("campaign manifest '%s': ignoring malformed "
-                     "cell event",
-                     path.c_str());
-                continue;
-            }
-            progress[index].status = status;
-            progress[index].attempts = attempts;
-        }
-    }
-    if (!sawHeader)
-        throw CkptError("'" + path + "': manifest has no header");
-    return progress;
-}
 
 /** Shared mutable state of one campaign execution. */
 struct CampaignCtx
@@ -336,120 +25,19 @@ struct CampaignCtx
     const std::vector<CampaignCell> &cells;
     const CampaignOptions &opts;
     std::string dir;
-    std::mutex manifestMutex;
+    std::uint64_t hash = 0;
+    ManifestLog log;
     std::vector<CellOutcome> outcomes;
     std::vector<CellProgress> progress;
     std::atomic<bool> interrupted{false};
+
+    CampaignCtx(const std::vector<CampaignCell> &c,
+                const CampaignOptions &o)
+        : cells(c), opts(o), dir(campaignStateDir(o.manifestPath)),
+          log(o.manifestPath)
+    {
+    }
 };
-
-void
-appendEvent(CampaignCtx &ctx, std::size_t index, const char *status,
-            std::uint64_t attempts)
-{
-    char line[160];
-    std::snprintf(line, sizeof(line),
-                  "{\"type\":\"cell\",\"index\":%zu,\"status\":"
-                  "\"%s\",\"attempts\":%llu}\n",
-                  index, status,
-                  static_cast<unsigned long long>(attempts));
-    std::lock_guard<std::mutex> lock(ctx.manifestMutex);
-    // Append-only event log: a single buffered write per event,
-    // flushed before close, so a crash tears at most the last line
-    // (which the fold ignores). The write-rename helper cannot be
-    // used here — rewriting the log on every event would turn the
-    // manifest into an O(events^2) hot path and lose the history a
-    // concurrent crash-time reader depends on.
-    std::FILE *f = std::fopen(ctx.opts.manifestPath.c_str(), "ab");
-    if (!f) {
-        throw CkptError("cannot append to campaign manifest '" +
-                        ctx.opts.manifestPath + "'");
-    }
-    const std::size_t len = std::strlen(line);
-    const bool ok = std::fwrite(line, 1, len, f) == len &&
-                    std::fflush(f) == 0;
-    std::fclose(f);
-    if (!ok) {
-        throw CkptError("error appending to campaign manifest '" +
-                        ctx.opts.manifestPath + "'");
-    }
-}
-
-/** One try of one cell: build, optionally restore, run, report. */
-CellOutcome
-runCellOnce(const CampaignCell &cell, const std::string &ckpt_path,
-            const CampaignOptions &opts)
-{
-    BuiltRun run = buildRun(cell.spec);
-    StatsRegistry registry;
-    StatsMeta meta;
-    meta.seed = cell.spec.seed;
-    meta.configHash = configHashHex(describe(cell.spec));
-    registry.setMeta(meta);
-    run.system->registerStats(registry);
-
-    Simulation simulation(*run.system, *run.workload, run.sim);
-    if (opts.wantStatsJson)
-        simulation.setRegistry(&registry);
-
-    CkptRunState state;
-    state.simulation = &simulation;
-    state.system = run.system.get();
-    state.workload = run.workload.get();
-    state.registry = opts.wantStatsJson ? &registry : nullptr;
-
-    std::uint64_t last_ckpt = 0;
-    if (fileExists(ckpt_path) || fileExists(ckpt_path + ".prev")) {
-        const RestoreOutcome restored =
-            restoreCheckpointChain(ckpt_path, cell.spec, state);
-        last_ckpt = restored.epochsCompleted;
-    }
-
-    const bool have_deadline = opts.cellTimeoutSec > 0.0;
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<
-            std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(opts.cellTimeoutSec));
-
-    while (!simulation.done()) {
-        if (ckptInterruptRequested()) {
-            writeCheckpoint(ckpt_path, cell.spec, state);
-            throw CampaignInterrupted{};
-        }
-        simulation.stepEpoch();
-        if (opts.ckptEvery != 0 &&
-            simulation.recordedEpochs() >=
-                last_ckpt + opts.ckptEvery) {
-            writeCheckpoint(ckpt_path, cell.spec, state);
-            last_ckpt = simulation.recordedEpochs();
-        }
-        if (have_deadline &&
-            std::chrono::steady_clock::now() > deadline) {
-            throw SimError(
-                "watchdog: cell exceeded its wall-clock budget "
-                "and was cancelled");
-        }
-    }
-
-    const RunResult result = simulation.finish();
-    CellOutcome o;
-    o.ok = true;
-    o.label = cell.label;
-    o.seed = cell.spec.seed;
-    o.throughput = result.avgThroughput;
-    o.performance = result.performance;
-    if (const auto *morph = dynamic_cast<const MorphCacheSystem *>(
-            run.system.get())) {
-        o.merges = morph->controller().stats().merges;
-        o.splits = morph->controller().stats().splits;
-        o.finalTopology = morph->hierarchy().topology().name();
-    } else {
-        o.finalTopology = run.system->name();
-    }
-    if (opts.wantStatsJson)
-        o.statsJson = registry.jsonString();
-    return o;
-}
 
 /** Drive one cell through its retry budget. */
 void
@@ -464,25 +52,28 @@ driveCell(CampaignCtx &ctx, std::size_t index)
             ctx.interrupted = true;
             return;
         }
-        appendEvent(ctx, index, "running", attempts);
+        ctx.log.appendCell(index, "running", attempts);
         try {
-            CellOutcome o = runCellOnce(
-                cell, cellCkptPath(ctx.dir, index), ctx.opts);
+            CellOutcome o = runCellAttempt(
+                cell, cellCkptPath(ctx.dir, index),
+                CellAttemptOptions{ctx.opts.ckptEvery,
+                                   ctx.opts.cellTimeoutSec,
+                                   ctx.opts.wantStatsJson});
             o.attempts = attempts + 1;
             const std::string doc = serializeOutcome(o);
             atomicWriteFile(cellResultPath(ctx.dir, index),
                             doc.data(), doc.size());
-            appendEvent(ctx, index, "done", attempts + 1);
+            ctx.log.appendCell(index, "done", attempts + 1);
             ctx.outcomes[index] = std::move(o);
             return;
-        } catch (const CampaignInterrupted &) {
+        } catch (const CellInterrupted &) {
             // Checkpoint written; the cell stays `running` in the
             // manifest and resumes from where it stopped.
             ctx.interrupted = true;
             return;
         } catch (const std::exception &err) {
             ++attempts;
-            appendEvent(ctx, index, "failed", attempts);
+            ctx.log.appendCell(index, "failed", attempts);
             warn("campaign cell %zu (%s) try %llu failed: %s",
                  index, cell.label.c_str(),
                  static_cast<unsigned long long>(attempts),
@@ -500,47 +91,12 @@ driveCell(CampaignCtx &ctx, std::size_t index)
                 ctx.outcomes[index] = std::move(o);
                 return;
             }
-            // Bounded exponential backoff before the retry:
-            // 100 ms * 2^(try-1), capped at 2 s.
-            const std::uint64_t shift =
-                attempts - 1 < 10 ? attempts - 1 : 10;
-            const std::uint64_t ms = 100ULL << shift;
+            // Bounded exponential backoff with seeded deterministic
+            // jitter before the retry (see retryDelayMs).
             std::this_thread::sleep_for(std::chrono::milliseconds(
-                ms < 2000 ? ms : 2000));
+                retryDelayMs(ctx.hash, index, attempts)));
         }
     }
-}
-
-void
-appendReportLine(std::string &out, std::size_t index,
-                 const CampaignCell &cell, const CellOutcome &o)
-{
-    char buf[256];
-    if (o.failed) {
-        std::snprintf(buf, sizeof(buf),
-                      "cell %3zu   : %-24s FAILED after %llu "
-                      "attempts: ",
-                      index, o.label.c_str(),
-                      static_cast<unsigned long long>(o.attempts));
-        out += buf;
-        out += o.error;
-        out += '\n';
-        return;
-    }
-    std::snprintf(buf, sizeof(buf),
-                  "cell %3zu   : %-24s throughput=%.6f "
-                  "performance=%.6f final=%s",
-                  index, o.label.c_str(), o.throughput,
-                  o.performance, o.finalTopology.c_str());
-    out += buf;
-    if (cell.spec.scheme == "morph") {
-        std::snprintf(buf, sizeof(buf),
-                      " merges=%llu splits=%llu",
-                      static_cast<unsigned long long>(o.merges),
-                      static_cast<unsigned long long>(o.splits));
-        out += buf;
-    }
-    out += '\n';
 }
 
 } // namespace
@@ -554,29 +110,29 @@ runCampaign(const std::vector<CampaignCell> &cells,
     if (cells.empty())
         throw ConfigError("campaign has no cells");
 
-    CampaignCtx ctx{cells, opts, opts.manifestPath + ".d", {}, {},
-                    {}, {}};
+    CampaignCtx ctx(cells, opts);
     ctx.outcomes.resize(cells.size());
     ctx.progress.assign(cells.size(), CellProgress{});
-
-    const std::uint64_t hash = campaignHash(cells);
+    ctx.hash = campaignHash(cells);
     ::mkdir(ctx.dir.c_str(), 0777); // EEXIST is the resume case
 
     if (opts.resume) {
         ctx.progress =
-            foldManifest(opts.manifestPath, cells.size(), hash);
+            foldManifest(opts.manifestPath, cells.size(), ctx.hash);
     } else {
-        std::string doc = headerLine(cells.size(), hash);
+        std::string doc = manifestHeaderLine(cells.size(), ctx.hash);
         for (std::size_t i = 0; i < cells.size(); ++i) {
             doc += "{\"type\":\"cell\",\"index\":" +
                    std::to_string(i) +
                    ",\"status\":\"pending\",\"attempts\":0}\n";
             // Clear any stale state a previous campaign under the
             // same manifest path left behind, so cells never
-            // restore from another campaign's checkpoints.
+            // restore from another campaign's checkpoints, results,
+            // or leases.
             std::remove(cellCkptPath(ctx.dir, i).c_str());
             std::remove((cellCkptPath(ctx.dir, i) + ".prev").c_str());
             std::remove(cellResultPath(ctx.dir, i).c_str());
+            std::remove(cellLeasePath(ctx.dir, i).c_str());
         }
         atomicWriteFile(opts.manifestPath, doc.data(), doc.size());
     }
@@ -641,37 +197,12 @@ runCampaign(const std::vector<CampaignCell> &cells,
     if (report.interrupted)
         return report;
 
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "campaign   : %zu cells\n",
-                  cells.size());
-    report.reportText = buf;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const CellOutcome &o = ctx.outcomes[i];
-        appendReportLine(report.reportText, i, cells[i], o);
-        if (o.failed)
-            ++report.failed;
-        else
-            ++report.done;
-    }
-    std::snprintf(buf, sizeof(buf),
-                  "campaign   : %zu done, %zu failed\n", report.done,
-                  report.failed);
-    report.reportText += buf;
-
-    if (opts.wantStatsJson) {
-        std::string doc = "[\n";
-        bool first = true;
-        for (const CellOutcome &o : ctx.outcomes) {
-            if (o.failed || o.statsJson.empty())
-                continue;
-            if (!first)
-                doc += ",\n";
-            first = false;
-            doc += o.statsJson;
-        }
-        doc += "\n]\n";
-        report.statsJsonArray = std::move(doc);
-    }
+    RenderedReport rendered =
+        renderCampaignReport(cells, ctx.outcomes, opts.wantStatsJson);
+    report.reportText = std::move(rendered.reportText);
+    report.statsJsonArray = std::move(rendered.statsJsonArray);
+    report.done = rendered.done;
+    report.failed = rendered.failed;
     return report;
 }
 

@@ -42,17 +42,9 @@
 #include <string>
 #include <vector>
 
-#include "ckpt/run_spec.hh"
+#include "runner/manifest.hh"
 
 namespace morphcache {
-
-/** One campaign cell: a labelled run spec. */
-struct CampaignCell
-{
-    /** Report label ("mix:08 seed=1234"). */
-    std::string label;
-    RunSpec spec;
-};
 
 struct CampaignOptions
 {

@@ -1,0 +1,565 @@
+#include "runner/manifest.hh"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/serial.hh"
+#include "runner/sweep.hh"
+
+namespace morphcache {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::size_t
+findJsonKey(const std::string &text, const char *key)
+{
+    const std::string token = std::string("\"") + key + "\":";
+    return text.find(token) == std::string::npos
+               ? std::string::npos
+               : text.find(token) + token.size();
+}
+
+bool
+jsonFieldU64(const std::string &text, const char *key,
+             std::uint64_t &out)
+{
+    const std::size_t at = findJsonKey(text, key);
+    if (at == std::string::npos)
+        return false;
+    out = std::strtoull(text.c_str() + at, nullptr, 10);
+    return true;
+}
+
+bool
+jsonFieldF64(const std::string &text, const char *key, double &out)
+{
+    const std::size_t at = findJsonKey(text, key);
+    if (at == std::string::npos)
+        return false;
+    out = std::strtod(text.c_str() + at, nullptr);
+    return true;
+}
+
+bool
+jsonFieldStr(const std::string &text, const char *key,
+             std::string &out)
+{
+    std::size_t at = findJsonKey(text, key);
+    if (at == std::string::npos || at >= text.size() ||
+        text[at] != '"') {
+        return false;
+    }
+    ++at;
+    out.clear();
+    while (at < text.size() && text[at] != '"') {
+        char c = text[at];
+        if (c == '\\' && at + 1 < text.size()) {
+            ++at;
+            const char e = text[at];
+            c = e == 'n' ? '\n' : e == 't' ? '\t' : e;
+        }
+        out += c;
+        ++at;
+    }
+    return at < text.size();
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::uint64_t
+campaignHash(const std::vector<CampaignCell> &cells)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const CampaignCell &cell : cells) {
+        const std::string item = cell.label + "\n" +
+                                 describe(cell.spec) + "\nseed=" +
+                                 std::to_string(cell.spec.seed) +
+                                 "\n";
+        h = fnv1a64(item.data(), item.size(), h);
+    }
+    return h;
+}
+
+std::string
+campaignStateDir(const std::string &manifestPath)
+{
+    return manifestPath + ".d";
+}
+
+std::string
+cellCkptPath(const std::string &dir, std::size_t i)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/cell%04zu.ckpt", i);
+    return dir + buf;
+}
+
+std::string
+cellResultPath(const std::string &dir, std::size_t i)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "/cell%04zu.result.json", i);
+    return dir + buf;
+}
+
+std::string
+cellLeasePath(const std::string &dir, std::size_t i)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/cell%04zu.lease", i);
+    return dir + buf;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string
+serializeOutcome(const CellOutcome &o)
+{
+    char num[64];
+    std::string out = "{\"label\":\"" + jsonEscape(o.label) +
+                      "\",\"seed\":" + std::to_string(o.seed) +
+                      ",\"attempts\":" + std::to_string(o.attempts);
+    if (o.failed) {
+        out += ",\"failed\":\"" + jsonEscape(o.error) + "\"}";
+        out += '\n';
+        return out;
+    }
+    std::snprintf(num, sizeof(num), "%.17g", o.throughput);
+    out += std::string(",\"throughput\":") + num;
+    std::snprintf(num, sizeof(num), "%.17g", o.performance);
+    out += std::string(",\"performance\":") + num;
+    out += ",\"finalTopology\":\"" + jsonEscape(o.finalTopology) +
+           "\",\"merges\":" + std::to_string(o.merges) +
+           ",\"splits\":" + std::to_string(o.splits);
+    if (!o.statsJson.empty())
+        out += ",\"stats\":" + o.statsJson;
+    out += "}\n";
+    return out;
+}
+
+CellOutcome
+parseOutcome(const std::string &path, const std::string &text)
+{
+    CellOutcome o;
+    auto need = [&](bool ok, const char *what) {
+        if (!ok) {
+            throw CkptError("'" + path +
+                            "': result record missing field '" +
+                            what + "'");
+        }
+    };
+    need(jsonFieldStr(text, "label", o.label), "label");
+    need(jsonFieldU64(text, "seed", o.seed), "seed");
+    need(jsonFieldU64(text, "attempts", o.attempts), "attempts");
+    if (jsonFieldStr(text, "failed", o.error)) {
+        o.failed = true;
+        return o;
+    }
+    need(jsonFieldF64(text, "throughput", o.throughput),
+         "throughput");
+    need(jsonFieldF64(text, "performance", o.performance),
+         "performance");
+    need(jsonFieldStr(text, "finalTopology", o.finalTopology),
+         "finalTopology");
+    need(jsonFieldU64(text, "merges", o.merges), "merges");
+    need(jsonFieldU64(text, "splits", o.splits), "splits");
+    const std::size_t stats = findJsonKey(text, "stats");
+    if (stats != std::string::npos) {
+        const std::size_t end = text.rfind('}');
+        if (end == std::string::npos || end < stats)
+            throw CkptError("'" + path +
+                            "': malformed stats field");
+        o.statsJson = text.substr(stats, end - stats);
+    }
+    o.ok = true;
+    return o;
+}
+
+std::string
+manifestHeaderLine(std::size_t cells, std::uint64_t hash)
+{
+    return "{\"type\":\"header\",\"version\":1,\"cells\":" +
+           std::to_string(cells) + ",\"campaignHash\":\"" +
+           hex64(hash) + "\"}\n";
+}
+
+std::vector<CellProgress>
+foldManifest(const std::string &path, std::size_t num_cells,
+             std::uint64_t hash)
+{
+    const std::vector<std::uint8_t> bytes = readFileBytes(path);
+    const std::string text(bytes.begin(), bytes.end());
+
+    std::vector<CellProgress> progress(num_cells);
+    bool sawHeader = false;
+    std::size_t at = 0;
+    while (at < text.size()) {
+        const std::size_t nl = text.find('\n', at);
+        if (nl == std::string::npos) {
+            // Torn final line from a killed writer; the event it
+            // carried is simply replayed by rerunning the cell.
+            warn("campaign manifest '%s': ignoring torn final line",
+                 path.c_str());
+            break;
+        }
+        const std::string line = text.substr(at, nl - at);
+        at = nl + 1;
+
+        std::string type;
+        if (!jsonFieldStr(line, "type", type)) {
+            warn("campaign manifest '%s': ignoring malformed line",
+                 path.c_str());
+            continue;
+        }
+        if (type == "header") {
+            std::uint64_t cells = 0;
+            std::string stamp;
+            if (!jsonFieldU64(line, "cells", cells) ||
+                !jsonFieldStr(line, "campaignHash", stamp)) {
+                throw CkptError("'" + path +
+                                "': malformed manifest header");
+            }
+            if (cells != num_cells) {
+                throw CkptError(
+                    "'" + path + "': manifest describes " +
+                    std::to_string(cells) +
+                    " cells but this campaign has " +
+                    std::to_string(num_cells));
+            }
+            if (stamp != hex64(hash)) {
+                throw CkptError(
+                    "'" + path + "': campaign-hash mismatch: "
+                    "manifest has " + stamp + ", this campaign is " +
+                    hex64(hash));
+            }
+            sawHeader = true;
+            continue;
+        }
+        if (type == "cell") {
+            std::uint64_t index = 0;
+            std::uint64_t attempts = 0;
+            std::string status;
+            if (!jsonFieldU64(line, "index", index) ||
+                !jsonFieldStr(line, "status", status) ||
+                !jsonFieldU64(line, "attempts", attempts) ||
+                index >= num_cells) {
+                warn("campaign manifest '%s': ignoring malformed "
+                     "cell event",
+                     path.c_str());
+                continue;
+            }
+            progress[index].status = status;
+            progress[index].attempts = attempts;
+        }
+        // Other record types ("plan", future extensions) carry no
+        // progress and are skipped by construction.
+    }
+    if (!sawHeader)
+        throw CkptError("'" + path + "': manifest has no header");
+    return progress;
+}
+
+void
+ManifestLog::appendCell(std::size_t index, const char *status,
+                        std::uint64_t attempts)
+{
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "{\"type\":\"cell\",\"index\":%zu,\"status\":"
+                  "\"%s\",\"attempts\":%llu}\n",
+                  index, status,
+                  static_cast<unsigned long long>(attempts));
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Append-only event log: a single buffered write per event,
+    // fsynced before close, so a crash tears at most the last line
+    // (which the fold ignores). The write-rename helper cannot be
+    // used here — rewriting the log on every event would turn the
+    // manifest into an O(events^2) hot path, lose the history a
+    // concurrent crash-time reader depends on, and clobber events
+    // other worker processes appended in the meantime. O_APPEND
+    // keeps cross-process appends whole.
+    std::FILE *f = std::fopen(path_.c_str(), "ab");
+    if (!f) {
+        throw CkptError("cannot append to campaign manifest '" +
+                        path_ + "'");
+    }
+    const std::size_t len = std::strlen(line);
+    const bool ok = std::fwrite(line, 1, len, f) == len &&
+                    fsyncFile(f) == 0;
+    std::fclose(f);
+    if (!ok) {
+        throw CkptError("error appending to campaign manifest '" +
+                        path_ + "'");
+    }
+}
+
+std::uint64_t
+retryDelayMs(std::uint64_t campaign_hash, std::uint64_t cell_index,
+             std::uint64_t attempt)
+{
+    const std::uint64_t shift =
+        attempt - 1 < 10 ? attempt - 1 : 10;
+    std::uint64_t base = 100ULL << shift;
+    if (base > 2000)
+        base = 2000;
+    // Seeded deterministic jitter into [base/2, base]: distinct
+    // multipliers keep (index, attempt) pairs from aliasing, and
+    // the SplitMix64 finalizer decorrelates neighbouring cells.
+    std::uint64_t state = campaign_hash ^
+                          (cell_index * 0x9e3779b97f4a7c15ULL) ^
+                          (attempt * 0xbf58476d1ce4e5b9ULL);
+    const std::uint64_t draw = splitMix64(state);
+    const std::uint64_t half = base / 2;
+    return half + draw % (half + 1);
+}
+
+namespace {
+
+void
+appendReportLine(std::string &out, std::size_t index,
+                 const CampaignCell &cell, const CellOutcome &o)
+{
+    char buf[256];
+    if (o.failed) {
+        std::snprintf(buf, sizeof(buf),
+                      "cell %3zu   : %-24s FAILED after %llu "
+                      "attempts: ",
+                      index, o.label.c_str(),
+                      static_cast<unsigned long long>(o.attempts));
+        out += buf;
+        out += o.error;
+        out += '\n';
+        return;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "cell %3zu   : %-24s throughput=%.6f "
+                  "performance=%.6f final=%s",
+                  index, o.label.c_str(), o.throughput,
+                  o.performance, o.finalTopology.c_str());
+    out += buf;
+    if (cell.spec.scheme == "morph") {
+        std::snprintf(buf, sizeof(buf),
+                      " merges=%llu splits=%llu",
+                      static_cast<unsigned long long>(o.merges),
+                      static_cast<unsigned long long>(o.splits));
+        out += buf;
+    }
+    out += '\n';
+}
+
+} // namespace
+
+RenderedReport
+renderCampaignReport(const std::vector<CampaignCell> &cells,
+                     const std::vector<CellOutcome> &outcomes,
+                     bool want_stats_json)
+{
+    RenderedReport report;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "campaign   : %zu cells\n",
+                  cells.size());
+    report.reportText = buf;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellOutcome &o = outcomes[i];
+        appendReportLine(report.reportText, i, cells[i], o);
+        if (o.failed)
+            ++report.failed;
+        else
+            ++report.done;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "campaign   : %zu done, %zu failed\n", report.done,
+                  report.failed);
+    report.reportText += buf;
+
+    if (want_stats_json) {
+        std::string doc = "[\n";
+        bool first = true;
+        for (const CellOutcome &o : outcomes) {
+            if (o.failed || o.statsJson.empty())
+                continue;
+            if (!first)
+                doc += ",\n";
+            first = false;
+            doc += o.statsJson;
+        }
+        doc += "\n]\n";
+        report.statsJsonArray = std::move(doc);
+    }
+    return report;
+}
+
+std::vector<CampaignCell>
+CampaignPlan::cells() const
+{
+    std::vector<CampaignCell> out;
+    std::uint64_t cell_index = 0;
+    for (std::uint32_t rep = 0; rep < sweepSeeds; ++rep) {
+        for (std::uint32_t m = mixLo; m <= mixHi; ++m) {
+            CampaignCell cell;
+            cell.spec = base;
+            char workload[16];
+            std::snprintf(workload, sizeof(workload), "mix:%u", m);
+            cell.spec.workload = workload;
+            cell.spec.seed = sweepCellSeed(base.seed, cell_index);
+            char label[64];
+            std::snprintf(
+                label, sizeof(label), "mix:%02u seed=%llu", m,
+                static_cast<unsigned long long>(cell.spec.seed));
+            cell.label = label;
+            out.push_back(std::move(cell));
+            ++cell_index;
+        }
+    }
+    return out;
+}
+
+std::string
+CampaignPlan::jsonLine() const
+{
+    // The base spec rides as hex-encoded saveSpec bytes: the exact
+    // binary serializer checkpoints use, so doubles (fault
+    // probabilities) round-trip bit-exactly and the plan can never
+    // disagree with the checkpoint format about what a spec is.
+    CkptWriter w;
+    saveSpec(w, base);
+    std::string hex;
+    hex.reserve(w.buffer().size() * 2);
+    for (std::uint8_t byte : w.buffer()) {
+        char pair[4];
+        std::snprintf(pair, sizeof(pair), "%02x", byte);
+        hex += pair;
+    }
+    return "{\"type\":\"plan\",\"version\":1,\"mixLo\":" +
+           std::to_string(mixLo) + ",\"mixHi\":" +
+           std::to_string(mixHi) + ",\"sweepSeeds\":" +
+           std::to_string(sweepSeeds) + ",\"base\":\"" + hex +
+           "\"}\n";
+}
+
+CampaignPlan
+planFromManifest(const std::string &path)
+{
+    const std::vector<std::uint8_t> bytes = readFileBytes(path);
+    const std::string text(bytes.begin(), bytes.end());
+
+    std::size_t at = 0;
+    while (at < text.size()) {
+        const std::size_t nl = text.find('\n', at);
+        if (nl == std::string::npos)
+            break;
+        const std::string line = text.substr(at, nl - at);
+        at = nl + 1;
+
+        std::string type;
+        if (!jsonFieldStr(line, "type", type) || type != "plan")
+            continue;
+
+        CampaignPlan plan;
+        std::uint64_t lo = 0, hi = 0, seeds = 0;
+        std::string hex;
+        if (!jsonFieldU64(line, "mixLo", lo) ||
+            !jsonFieldU64(line, "mixHi", hi) ||
+            !jsonFieldU64(line, "sweepSeeds", seeds) ||
+            !jsonFieldStr(line, "base", hex) ||
+            hex.size() % 2 != 0) {
+            throw CkptError("'" + path +
+                            "': malformed campaign plan line");
+        }
+        plan.mixLo = static_cast<std::uint32_t>(lo);
+        plan.mixHi = static_cast<std::uint32_t>(hi);
+        plan.sweepSeeds = static_cast<std::uint32_t>(seeds);
+
+        std::vector<std::uint8_t> raw;
+        raw.reserve(hex.size() / 2);
+        for (std::size_t i = 0; i < hex.size(); i += 2) {
+            char pair[3] = {hex[i], hex[i + 1], '\0'};
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(pair, &end, 16);
+            if (end != pair + 2) {
+                throw CkptError("'" + path +
+                                "': non-hex byte in campaign plan "
+                                "base spec");
+            }
+            raw.push_back(static_cast<std::uint8_t>(v));
+        }
+        CkptReader r(path + " (plan base spec)", raw);
+        plan.base = loadSpec(r);
+        if (r.remaining() != 0)
+            r.fail("trailing bytes after plan base spec");
+        return plan;
+    }
+    throw CkptError(
+        "'" + path + "': manifest carries no campaign plan; only "
+        "manifests written by `mc_campaign init` embed the cell "
+        "recipe workers need");
+}
+
+void
+initManifestWithPlan(const std::string &path,
+                     const CampaignPlan &plan)
+{
+    const std::vector<CampaignCell> cellList = plan.cells();
+    if (cellList.empty())
+        throw ConfigError("campaign plan generates no cells");
+    const std::string dir = campaignStateDir(path);
+    ::mkdir(dir.c_str(), 0777); // EEXIST is fine
+
+    std::string doc =
+        manifestHeaderLine(cellList.size(), campaignHash(cellList));
+    doc += plan.jsonLine();
+    for (std::size_t i = 0; i < cellList.size(); ++i) {
+        doc += "{\"type\":\"cell\",\"index\":" + std::to_string(i) +
+               ",\"status\":\"pending\",\"attempts\":0}\n";
+        // Clear any stale state a previous campaign under the same
+        // manifest path left behind, so cells never restore from
+        // another campaign's checkpoints or leases.
+        std::remove(cellCkptPath(dir, i).c_str());
+        std::remove((cellCkptPath(dir, i) + ".prev").c_str());
+        std::remove(cellResultPath(dir, i).c_str());
+        std::remove(cellLeasePath(dir, i).c_str());
+    }
+    atomicWriteFile(path, doc.data(), doc.size());
+}
+
+} // namespace morphcache

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Campaign manifest: the durable, shared ground truth of a campaign.
+ *
+ * One JSONL file holds a campaign's identity and progress:
+ *
+ *   {"type":"header",...}    cell count + campaign hash binding
+ *   {"type":"plan",...}      optional: the cell-generation recipe
+ *                            (base RunSpec + mix range + seed
+ *                            replicas), so independently launched
+ *                            worker processes can rebuild the exact
+ *                            cell list from the manifest alone
+ *   {"type":"cell",...}      append-only per-cell status events
+ *                            (pending/running/done/failed with an
+ *                            attempt count); the last event per cell
+ *                            wins and a torn final line is ignored
+ *
+ * Everything here is shared by the in-process campaign runner
+ * (campaign.cc), the multi-process work-stealing executor
+ * (executor.cc), and the mc_campaign tool — one serializer, one
+ * folder, one report renderer, so a distributed campaign's merged
+ * bytes cannot drift from a serial run's.
+ *
+ * Next to the manifest lives the state directory `<manifest>.d/`
+ * with per-cell checkpoint chains (`cellNNNN.ckpt[.prev]`), atomic
+ * result files (`cellNNNN.result.json`), and worker lease files
+ * (`cellNNNN.lease`, see lease.hh). All writes under it go through
+ * atomicWriteFile or the lease API (enforced by mc_lint's
+ * `manifest-write` rule); the manifest itself is the one sanctioned
+ * append-only writer, fsync-backed per event.
+ */
+
+#ifndef MORPHCACHE_RUNNER_MANIFEST_HH
+#define MORPHCACHE_RUNNER_MANIFEST_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/run_spec.hh"
+
+namespace morphcache {
+
+/** One campaign cell: a labelled run spec. */
+struct CampaignCell
+{
+    /** Report label ("mix:08 seed=1234"). */
+    std::string label;
+    RunSpec spec;
+};
+
+// ---------------------------------------------------------------
+// Single-line JSON helpers (our own records only — one object per
+// line, scalar fields, no nesting except the trailing "stats").
+// ---------------------------------------------------------------
+
+std::string jsonEscape(const std::string &s);
+
+/** Offset just past `"key":` in `text`, or npos. */
+std::size_t findJsonKey(const std::string &text, const char *key);
+
+bool jsonFieldU64(const std::string &text, const char *key,
+                  std::uint64_t &out);
+bool jsonFieldF64(const std::string &text, const char *key,
+                  double &out);
+bool jsonFieldStr(const std::string &text, const char *key,
+                  std::string &out);
+
+/** Fixed-width lowercase hex of a 64-bit value. */
+std::string hex64(std::uint64_t v);
+
+// ---------------------------------------------------------------
+// Campaign identity and state-directory layout
+// ---------------------------------------------------------------
+
+/** Identity of a campaign: its cell labels, specs, and seeds. */
+std::uint64_t campaignHash(const std::vector<CampaignCell> &cells);
+
+/** State directory of a manifest: `<manifest>.d`. */
+std::string campaignStateDir(const std::string &manifestPath);
+
+std::string cellCkptPath(const std::string &dir, std::size_t i);
+std::string cellResultPath(const std::string &dir, std::size_t i);
+std::string cellLeasePath(const std::string &dir, std::size_t i);
+
+bool fileExists(const std::string &path);
+
+// ---------------------------------------------------------------
+// Per-cell outcome records (the durable result files)
+// ---------------------------------------------------------------
+
+/** What one completed (or terminally failed) cell produced. */
+struct CellOutcome
+{
+    bool ok = false;
+    bool failed = false;
+    std::string label;
+    std::uint64_t seed = 0;
+    std::uint64_t attempts = 0;
+    double throughput = 0.0;
+    double performance = 0.0;
+    std::string finalTopology;
+    std::uint64_t merges = 0;
+    std::uint64_t splits = 0;
+    std::string statsJson;
+    std::string error;
+};
+
+/**
+ * Render an outcome as its durable result record: one JSON line of
+ * scalar fields (doubles as %.17g so they re-parse bit-exactly),
+ * with the raw stats-registry document nested under "stats".
+ */
+std::string serializeOutcome(const CellOutcome &o);
+
+/** Parse a result record; throws CkptError naming `path` on any
+ * missing or malformed field. */
+CellOutcome parseOutcome(const std::string &path,
+                         const std::string &text);
+
+// ---------------------------------------------------------------
+// Manifest fold + append
+// ---------------------------------------------------------------
+
+/** Manifest fold state of one cell. */
+struct CellProgress
+{
+    std::string status = "pending";
+    std::uint64_t attempts = 0;
+};
+
+std::string manifestHeaderLine(std::size_t cells,
+                               std::uint64_t hash);
+
+/**
+ * Fold a manifest into last-event-per-cell progress. Verifies the
+ * header's cell count and campaign hash against this campaign
+ * (typed CkptError on mismatch), tolerates a torn final line and
+ * malformed events (warned, skipped), ignores unknown record types.
+ */
+std::vector<CellProgress> foldManifest(const std::string &path,
+                                       std::size_t num_cells,
+                                       std::uint64_t hash);
+
+/**
+ * The append-only manifest event writer. One buffered write +
+ * fsync per event, serialized by an internal mutex (workers in the
+ * same process) and by O_APPEND (workers in other processes), so a
+ * crash tears at most the final line — which the fold ignores.
+ */
+class ManifestLog
+{
+  public:
+    explicit ManifestLog(std::string path) : path_(std::move(path))
+    {
+    }
+
+    /** Append one cell status event; throws CkptError on I/O
+     * failure. */
+    void appendCell(std::size_t index, const char *status,
+                    std::uint64_t attempts);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::mutex mutex_;
+};
+
+// ---------------------------------------------------------------
+// Retry backoff
+// ---------------------------------------------------------------
+
+/**
+ * Delay before retry number `attempt` (1-based) of cell
+ * `cellIndex`: bounded exponential backoff (100 ms * 2^(attempt-1),
+ * capped at 2 s) with seeded deterministic jitter — a SplitMix64
+ * draw over (campaign hash, cell index, attempt) maps the delay
+ * into [base/2, base]. M workers retrying the same flaky
+ * shared-filesystem epoch therefore spread out instead of
+ * thundering back in lockstep, yet the schedule is a pure function
+ * of campaign identity, so reruns and resumes see identical
+ * delays and output bytes never depend on wall time.
+ */
+std::uint64_t retryDelayMs(std::uint64_t campaign_hash,
+                           std::uint64_t cell_index,
+                           std::uint64_t attempt);
+
+// ---------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------
+
+/** A fully rendered campaign report (see CampaignReport). */
+struct RenderedReport
+{
+    std::string reportText;
+    std::string statsJsonArray;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+};
+
+/**
+ * Render the canonical campaign report from per-cell outcomes.
+ * Pure function of (cells, outcomes): contains no paths, timing,
+ * worker identity, or attempt counts for successful cells, so a
+ * serial run, a -jN run, a resumed run, and a distributed
+ * mc_campaign merge all emit identical bytes.
+ */
+RenderedReport
+renderCampaignReport(const std::vector<CampaignCell> &cells,
+                     const std::vector<CellOutcome> &outcomes,
+                     bool want_stats_json);
+
+// ---------------------------------------------------------------
+// Campaign plan (manifest-embedded cell recipe)
+// ---------------------------------------------------------------
+
+/**
+ * The recipe that generates a campaign's cell list: a base RunSpec
+ * swept over a mix range × seed replicas. Serialized into the
+ * manifest as a `{"type":"plan",...}` line (the base spec rides as
+ * hex-encoded saveSpec bytes, so doubles round-trip bit-exactly),
+ * letting any worker process — launched from any shell or host
+ * sharing the filesystem — rebuild the exact cell list, labels,
+ * and seeds from the manifest alone.
+ */
+struct CampaignPlan
+{
+    /** Base spec; its workload field is replaced per cell. */
+    RunSpec base;
+    std::uint32_t mixLo = 1;
+    std::uint32_t mixHi = 12;
+    std::uint32_t sweepSeeds = 1;
+
+    /**
+     * The cell list: rep-major, mix-minor, seeds derived via
+     * sweepCellSeed(base.seed, cellIndex) — byte-compatible with
+     * morphcache_sim's --sweep --manifest campaigns.
+     */
+    std::vector<CampaignCell> cells() const;
+
+    /** One-line JSON record for the manifest. */
+    std::string jsonLine() const;
+};
+
+/**
+ * Recover the plan line from a manifest. Throws CkptError when the
+ * manifest has no plan (e.g. it was written by `morphcache_sim
+ * --manifest`, which fixes the cell list in its command line) or
+ * the plan is malformed.
+ */
+CampaignPlan planFromManifest(const std::string &path);
+
+/**
+ * Write a fresh manifest atomically: header, plan line, and one
+ * pending event per cell. Creates the state directory and clears
+ * any stale per-cell state a previous campaign under the same path
+ * left behind.
+ */
+void initManifestWithPlan(const std::string &path,
+                          const CampaignPlan &plan);
+
+} // namespace morphcache
+
+#endif // MORPHCACHE_RUNNER_MANIFEST_HH

@@ -1,14 +1,18 @@
 /**
  * @file
- * Unit tests for the common utilities (rng, bitops).
+ * Unit tests for the common utilities (rng, bitops, durability).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "common/bitops.hh"
 #include "common/rng.hh"
+#include "common/serial.hh"
 
 namespace morphcache {
 namespace {
@@ -112,6 +116,42 @@ TEST(Rng, ChanceExtremes)
         EXPECT_FALSE(rng.chance(0.0));
         EXPECT_TRUE(rng.chance(1.0));
     }
+}
+
+TEST(Serial, FsyncGateMatchesEnvironment)
+{
+    const char *env = std::getenv("MC_NO_FSYNC");
+    const bool disabled =
+        env != nullptr && *env != '\0' && *env != '0';
+    EXPECT_EQ(fsyncEnabled(), !disabled);
+}
+
+/**
+ * Regression: atomicWriteFile must actually drive the fsync path —
+ * file before the rename, containing directory after — unless the
+ * MC_NO_FSYNC escape hatch suppressed it. The process-wide counter
+ * is the witness; a refactor that silently drops the fsyncs (the
+ * classic "rename is enough" mistake) fails here.
+ */
+TEST(Serial, AtomicWriteFsyncsFileAndDirectoryUnlessDisabled)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "fsync_probe.bin";
+    const std::uint64_t before = fsyncCount();
+    const char payload[] = "durable";
+    atomicWriteFile(path, payload, sizeof(payload));
+    const std::uint64_t after = fsyncCount();
+    if (fsyncEnabled()) {
+        EXPECT_GE(after - before, 2u)
+            << "expected a file fsync and a directory fsync";
+    } else {
+        EXPECT_EQ(after, before)
+            << "MC_NO_FSYNC must suppress every fsync";
+    }
+    // The write itself must land either way.
+    const std::vector<std::uint8_t> bytes = readFileBytes(path);
+    EXPECT_EQ(bytes.size(), sizeof(payload));
+    std::remove(path.c_str());
 }
 
 } // namespace

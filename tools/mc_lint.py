@@ -43,6 +43,15 @@ the repo's source conventions over ``src/``:
     torn file behind a crash, which the checkpoint/restore
     subsystem (DESIGN.md section 11) is built to rule out.
 
+``manifest-write``
+    Publication under a campaign manifest directory happens only
+    through the sanctioned writers: raw ``rename(2)``/``link(2)``
+    calls are confined to ``atomicWriteFile`` itself, the
+    checkpoint-chain rotation, and the lease API
+    (``src/runner/lease.cc``). Anything else hand-rolling a rename
+    or link is a second publication path the crash matrix
+    (DESIGN.md section 12) does not cover.
+
 Exit status: 0 when clean, 1 when any finding is reported, 2 on
 usage errors. Stdlib only; no third-party dependencies.
 """
@@ -62,7 +71,11 @@ DETERMINISM_ALLOW = {
     # Wall-clock watchdog deadlines and retry backoff sleeps: they
     # decide *whether* a cell runs again, never what it computes, so
     # result bytes stay schedule-independent.
-    "src/runner/campaign.cc",
+    "src/runner/executor.cc",
+    # Lease deadlines are compared across processes and hosts, so
+    # they must read the shared system clock; they gate only claim
+    # staleness, never simulated values (DESIGN.md section 12).
+    "src/runner/lease.cc",
 }
 GLOBALS_ALLOW = {
     # Process-wide log level/sink: atomics + a dispatch mutex,
@@ -83,9 +96,23 @@ ATOMIC_WRITE_ALLOW = {
     "src/stats/report.cc",
     "src/stats/tracing.cc",
     # The campaign manifest is an append-only event log; atomic
-    # rename cannot express "durably append one event", so it is a
-    # sanctioned sink with crash-torn lines handled by the reader.
-    "src/runner/campaign.cc",
+    # rename cannot express "durably append one event", so its
+    # writer (ManifestLog) is a sanctioned sink with crash-torn
+    # lines handled by the reader.
+    "src/runner/manifest.cc",
+    # Lease scratch files are fsynced and published by link(2) or
+    # rename — the claim protocol's own atomicity primitive.
+    "src/runner/lease.cc",
+}
+MANIFEST_WRITE_ALLOW = {
+    # The write-then-rename primitive itself.
+    "src/common/serial.cc",
+    # Checkpoint-chain rotation: the live chain link is renamed to
+    # `.prev` before the new checkpoint lands atomically.
+    "src/ckpt/ckpt.cc",
+    # The lease API: link(2) claims and read-back-verified rename
+    # publication (DESIGN.md section 12).
+    "src/runner/lease.cc",
 }
 
 DETERMINISM_PATTERNS = [
@@ -212,6 +239,29 @@ def check_atomic_write(path: str, raw: str) -> list[Finding]:
                 "file write bypasses atomicWriteFile(); durable "
                 "state must go through the write-then-rename helper "
                 "or a sanctioned sink (stats/tracing/manifest)"))
+    return findings
+
+
+# Raw publication primitives: renames and hard links place a file at
+# its final path, which is exactly the step the sanctioned writers
+# wrap with fsync + read-back verification.
+_RAW_PUBLISH = re.compile(
+    r"(?<![\w.>])((?:std\s*::\s*|::\s*)?(?:link|rename|linkat|"
+    r"renameat2?))\s*\(")
+
+
+def check_manifest_write(path: str, code: str) -> list[Finding]:
+    if path in MANIFEST_WRITE_ALLOW:
+        return []
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if _RAW_PUBLISH.search(line):
+            findings.append(Finding(
+                path, lineno, "manifest-write",
+                "raw rename/link publication; writes under a "
+                "campaign manifest directory go through "
+                "atomicWriteFile or the lease API "
+                "(DESIGN.md section 12)"))
     return findings
 
 
@@ -377,6 +427,7 @@ def lint_file(path: str, repo_root: str) -> list[Finding]:
     findings += check_globals(path, code)
     findings += check_stats_bypass(path, code)
     findings += check_atomic_write(path, raw)
+    findings += check_manifest_write(path, code)
     findings += check_includes(path, raw, repo_root)
     return findings
 

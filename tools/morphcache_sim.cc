@@ -383,19 +383,6 @@ handleInterruptSignal(int)
     requestCkptInterrupt();
 }
 
-/** Per-cell RunSpec for campaign cell `index` sweeping mix `m`. */
-RunSpec
-campaignCellSpec(const Options &opts, std::uint32_t m,
-                 std::uint64_t cell_index)
-{
-    RunSpec spec = opts.spec;
-    char workload[16];
-    std::snprintf(workload, sizeof(workload), "mix:%u", m);
-    spec.workload = workload;
-    spec.seed = sweepCellSeed(opts.spec.seed, cell_index);
-    return spec;
-}
-
 /**
  * Campaign mode: the crash-resilient cousin of --sweep. Cells,
  * labels, and seeds mirror runSweep exactly, but progress is
@@ -415,21 +402,15 @@ runCampaignMode(const Options &opts)
     copts.cellTimeoutSec = opts.cellTimeoutSec;
     copts.wantStatsJson = !opts.statsOutPath.empty();
 
-    std::vector<CampaignCell> cells;
-    std::uint64_t cell_index = 0;
-    for (std::uint32_t rep = 0; rep < opts.sweepSeeds; ++rep) {
-        for (std::uint32_t m = opts.mixLo; m <= opts.mixHi; ++m) {
-            CampaignCell cell;
-            cell.spec = campaignCellSpec(opts, m, cell_index);
-            char label[64];
-            std::snprintf(
-                label, sizeof(label), "mix:%02u seed=%llu", m,
-                static_cast<unsigned long long>(cell.spec.seed));
-            cell.label = label;
-            cells.push_back(std::move(cell));
-            ++cell_index;
-        }
-    }
+    // One cell-list generator for every campaign front end: the
+    // same CampaignPlan that mc_campaign embeds in its manifests,
+    // so the CLI and the distributed executor can never drift.
+    CampaignPlan plan;
+    plan.base = opts.spec;
+    plan.mixLo = opts.mixLo;
+    plan.mixHi = opts.mixHi;
+    plan.sweepSeeds = opts.sweepSeeds;
+    const std::vector<CampaignCell> cells = plan.cells();
 
     const CampaignReport report = runCampaign(cells, copts);
     if (report.interrupted) {
