@@ -1,0 +1,31 @@
+#include "perf/clock.hh"
+
+#include <ctime>
+
+namespace morphcache {
+
+std::uint64_t
+perfNowNs()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+double
+perfNowSec()
+{
+    return static_cast<double>(perfNowNs()) / 1e9;
+}
+
+double
+unixNowSec()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
+} // namespace morphcache

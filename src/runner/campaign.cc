@@ -12,6 +12,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/serial.hh"
+#include "perf/clock.hh"
 #include "runner/executor.hh"
 #include "runner/sweep.hh"
 
@@ -111,6 +112,7 @@ runCampaign(const std::vector<CampaignCell> &cells,
         throw ConfigError("campaign has no cells");
 
     CampaignCtx ctx(cells, opts);
+    ctx.log.setWorker("cli");
     ctx.outcomes.resize(cells.size());
     ctx.progress.assign(cells.size(), CellProgress{});
     ctx.hash = campaignHash(cells);
@@ -120,7 +122,8 @@ runCampaign(const std::vector<CampaignCell> &cells,
         ctx.progress =
             foldManifest(opts.manifestPath, cells.size(), ctx.hash);
     } else {
-        std::string doc = manifestHeaderLine(cells.size(), ctx.hash);
+        std::string doc = manifestHeaderLine(cells.size(), ctx.hash,
+                                             unixNowSec());
         for (std::size_t i = 0; i < cells.size(); ++i) {
             doc += "{\"type\":\"cell\",\"index\":" +
                    std::to_string(i) +

@@ -440,6 +440,7 @@ runExecutor(const std::vector<CampaignCell> &cells,
         normalized.jobs = 1;
 
     ExecutorCtx ctx(cells, normalized);
+    ctx.log.setWorker(normalized.workerId);
     ctx.hash = campaignHash(cells);
     // Fail fast on a header mismatch before claiming anything.
     foldManifest(normalized.manifestPath, cells.size(), ctx.hash);

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/serial.hh"
+#include "perf/clock.hh"
 #include "runner/sweep.hh"
 
 namespace morphcache {
@@ -216,11 +217,20 @@ parseOutcome(const std::string &path, const std::string &text)
 }
 
 std::string
-manifestHeaderLine(std::size_t cells, std::uint64_t hash)
+manifestHeaderLine(std::size_t cells, std::uint64_t hash,
+                   double unix_t)
 {
-    return "{\"type\":\"header\",\"version\":1,\"cells\":" +
-           std::to_string(cells) + ",\"campaignHash\":\"" +
-           hex64(hash) + "\"}\n";
+    std::string line =
+        "{\"type\":\"header\",\"version\":1,\"cells\":" +
+        std::to_string(cells) + ",\"campaignHash\":\"" +
+        hex64(hash) + "\"";
+    if (unix_t > 0.0) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ",\"t\":%.3f", unix_t);
+        line += buf;
+    }
+    line += "}\n";
+    return line;
 }
 
 std::vector<CellProgress>
@@ -303,12 +313,21 @@ void
 ManifestLog::appendCell(std::size_t index, const char *status,
                         std::uint64_t attempts)
 {
-    char line[160];
-    std::snprintf(line, sizeof(line),
-                  "{\"type\":\"cell\",\"index\":%zu,\"status\":"
-                  "\"%s\",\"attempts\":%llu}\n",
-                  index, status,
-                  static_cast<unsigned long long>(attempts));
+    // Worker id and civil-time stamp are advisory extras consumed
+    // only by `mc_campaign status` (throughput / ETA); foldManifest
+    // never reads them, so progress bytes derived from the fold
+    // stay independent of schedule and clock.
+    std::string line =
+        "{\"type\":\"cell\",\"index\":" + std::to_string(index) +
+        ",\"status\":\"" + status +
+        "\",\"attempts\":" + std::to_string(attempts);
+    if (!worker_.empty())
+        line += ",\"worker\":\"" + jsonEscape(worker_) + "\"";
+    char stamp[48];
+    std::snprintf(stamp, sizeof(stamp), ",\"t\":%.3f",
+                  unixNowSec());
+    line += stamp;
+    line += "}\n";
     std::lock_guard<std::mutex> lock(mutex_);
     // Append-only event log: a single buffered write per event,
     // fsynced before close, so a crash tears at most the last line
@@ -323,14 +342,103 @@ ManifestLog::appendCell(std::size_t index, const char *status,
         throw CkptError("cannot append to campaign manifest '" +
                         path_ + "'");
     }
-    const std::size_t len = std::strlen(line);
-    const bool ok = std::fwrite(line, 1, len, f) == len &&
-                    fsyncFile(f) == 0;
+    const bool ok =
+        std::fwrite(line.data(), 1, line.size(), f) ==
+            line.size() &&
+        fsyncFile(f) == 0;
     std::fclose(f);
     if (!ok) {
         throw CkptError("error appending to campaign manifest '" +
                         path_ + "'");
     }
+}
+
+double
+ManifestTiming::cellsPerMinute() const
+{
+    if (doneEvents == 0)
+        return 0.0;
+    // Prefer the campaign-start stamp (covers the whole elapsed
+    // window); manifests predating header stamps fall back to the
+    // first-to-last done interval, which needs two events.
+    double window = 0.0;
+    if (startT > 0.0 && lastDoneT > startT) {
+        window = lastDoneT - startT;
+    } else if (doneEvents >= 2 && lastDoneT > firstDoneT) {
+        window = lastDoneT - firstDoneT;
+    }
+    if (window <= 0.0)
+        return 0.0;
+    return 60.0 * static_cast<double>(doneEvents) / window;
+}
+
+ManifestTiming
+foldManifestTiming(const std::string &path)
+{
+    ManifestTiming timing;
+    std::vector<std::uint8_t> bytes;
+    try {
+        bytes = readFileBytes(path);
+    } catch (const CkptError &) {
+        return timing; // advisory only: no manifest, no rates
+    }
+    const std::string text(bytes.begin(), bytes.end());
+
+    auto workerSlot =
+        [&timing](const std::string &name) -> WorkerTiming & {
+        for (auto &entry : timing.workers) {
+            if (entry.first == name)
+                return entry.second;
+        }
+        timing.workers.emplace_back(name, WorkerTiming{});
+        return timing.workers.back().second;
+    };
+
+    std::size_t at = 0;
+    while (at < text.size()) {
+        const std::size_t nl = text.find('\n', at);
+        if (nl == std::string::npos)
+            break; // torn final line: no timing either
+        const std::string line = text.substr(at, nl - at);
+        at = nl + 1;
+
+        std::string type;
+        if (!jsonFieldStr(line, "type", type))
+            continue;
+        double t = 0.0;
+        const bool stamped = jsonFieldF64(line, "t", t) && t > 0.0;
+        if (type == "header") {
+            if (stamped)
+                timing.startT = t;
+            continue;
+        }
+        if (type != "cell" || !stamped)
+            continue;
+        std::string status;
+        if (!jsonFieldStr(line, "status", status))
+            continue;
+        std::string worker;
+        const bool hasWorker =
+            jsonFieldStr(line, "worker", worker) &&
+            !worker.empty();
+        if (hasWorker) {
+            WorkerTiming &w = workerSlot(worker);
+            if (w.firstT == 0.0 || t < w.firstT)
+                w.firstT = t;
+            if (t > w.lastT)
+                w.lastT = t;
+            if (status == "done")
+                ++w.done;
+        }
+        if (status != "done")
+            continue;
+        ++timing.doneEvents;
+        if (timing.firstDoneT == 0.0 || t < timing.firstDoneT)
+            timing.firstDoneT = t;
+        if (t > timing.lastDoneT)
+            timing.lastDoneT = t;
+    }
+    return timing;
 }
 
 std::uint64_t
@@ -545,8 +653,8 @@ initManifestWithPlan(const std::string &path,
     const std::string dir = campaignStateDir(path);
     ::mkdir(dir.c_str(), 0777); // EEXIST is fine
 
-    std::string doc =
-        manifestHeaderLine(cellList.size(), campaignHash(cellList));
+    std::string doc = manifestHeaderLine(
+        cellList.size(), campaignHash(cellList), unixNowSec());
     doc += plan.jsonLine();
     for (std::size_t i = 0; i < cellList.size(); ++i) {
         doc += "{\"type\":\"cell\",\"index\":" + std::to_string(i) +

@@ -130,8 +130,15 @@ struct CellProgress
     std::uint64_t attempts = 0;
 };
 
+/**
+ * Render the manifest header. `unix_t` (seconds since the epoch, 0
+ * = omit) stamps campaign start so `mc_campaign status` can compute
+ * throughput from the manifest alone; the fold ignores it, so
+ * timing never feeds report bytes.
+ */
 std::string manifestHeaderLine(std::size_t cells,
-                               std::uint64_t hash);
+                               std::uint64_t hash,
+                               double unix_t = 0.0);
 
 /**
  * Fold a manifest into last-event-per-cell progress. Verifies the
@@ -156,8 +163,22 @@ class ManifestLog
     {
     }
 
-    /** Append one cell status event; throws CkptError on I/O
-     * failure. */
+    /**
+     * Worker identity stamped into subsequent events (empty =
+     * omitted). Display-only: `mc_campaign status` attributes
+     * throughput per worker from it; the fold never reads it.
+     */
+    void setWorker(std::string worker)
+    {
+        worker_ = std::move(worker);
+    }
+
+    /**
+     * Append one cell status event, stamped with the worker id (if
+     * set) and the civil time; throws CkptError on I/O failure.
+     * Stamps ride as extra fields the fold ignores, so merged
+     * report bytes stay schedule-independent.
+     */
     void appendCell(std::size_t index, const char *status,
                     std::uint64_t attempts);
 
@@ -165,8 +186,51 @@ class ManifestLog
 
   private:
     std::string path_;
+    std::string worker_;
     std::mutex mutex_;
 };
+
+// ---------------------------------------------------------------
+// Progress-rate fold (mc_campaign status telemetry)
+// ---------------------------------------------------------------
+
+/** Observed event timing of one worker. */
+struct WorkerTiming
+{
+    /** Cells this worker completed (`done` events it stamped). */
+    std::size_t done = 0;
+    /** Civil time of its earliest / latest stamped event. */
+    double firstT = 0.0;
+    double lastT = 0.0;
+};
+
+/** Timestamp aggregate of a manifest (all values unix seconds). */
+struct ManifestTiming
+{
+    /** Campaign start: header stamp, else earliest event stamp. */
+    double startT = 0.0;
+    /** Earliest / latest `done` event stamps. */
+    double firstDoneT = 0.0;
+    double lastDoneT = 0.0;
+    /** Total `done` events carrying a timestamp. */
+    std::size_t doneEvents = 0;
+    /** Per-worker attribution, insertion-ordered by first event. */
+    std::vector<std::pair<std::string, WorkerTiming>> workers;
+
+    /**
+     * Completed cells per minute over the campaign so far, derived
+     * purely from event stamps; 0 when the manifest predates
+     * timestamps or carries fewer than the needed events.
+     */
+    double cellsPerMinute() const;
+};
+
+/**
+ * Scan a manifest for event timestamps. Purely advisory (progress
+ * lines, ETA): malformed lines and events without stamps are
+ * skipped silently, and nothing here feeds deterministic output.
+ */
+ManifestTiming foldManifestTiming(const std::string &path);
 
 // ---------------------------------------------------------------
 // Retry backoff

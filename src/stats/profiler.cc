@@ -26,6 +26,31 @@ Profiler::global()
     return instance;
 }
 
+ProfSnapshot
+profDelta(const ProfSnapshot &a, const ProfSnapshot &b)
+{
+    ProfSnapshot d;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(ProfPhase::NumPhases); ++i) {
+        const auto phase = static_cast<ProfPhase>(i);
+        d[phase].ns = b[phase].ns - a[phase].ns;
+        d[phase].calls = b[phase].calls - a[phase].calls;
+    }
+    return d;
+}
+
+ProfSnapshot
+Profiler::snapshot() const
+{
+    ProfSnapshot s;
+    for (std::size_t i = 0; i < numPhases; ++i) {
+        const auto phase = static_cast<ProfPhase>(i);
+        s[phase].ns = ns_[i].load(std::memory_order_relaxed);
+        s[phase].calls = calls_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
 void
 Profiler::reset()
 {
@@ -60,25 +85,29 @@ Profiler::registerStats(StatsRegistry &registry) const
 std::string
 Profiler::report() const
 {
+    // Render from the stable export, so the human table can never
+    // carry numbers the machine-readable path does not.
+    const ProfSnapshot snap = snapshot();
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < numPhases; ++i)
-        total += ns_[i];
+        total += snap.phases[i].ns;
     if (total == 0)
         return "";
     std::string out = "profile:\n";
     char buf[160];
     for (std::size_t i = 0; i < numPhases; ++i) {
-        if (calls_[i] == 0)
+        const auto &phase = snap.phases[i];
+        if (phase.calls == 0)
             continue;
-        const double ms = static_cast<double>(ns_[i]) / 1e6;
+        const double ms = static_cast<double>(phase.ns) / 1e6;
         const double avg_us =
-            static_cast<double>(ns_[i]) /
-            (1e3 * static_cast<double>(calls_[i]));
+            static_cast<double>(phase.ns) /
+            (1e3 * static_cast<double>(phase.calls));
         std::snprintf(buf, sizeof(buf),
                       "  %-16s %10.3f ms  %8llu calls  %10.2f "
                       "us/call\n",
                       profPhaseName(static_cast<ProfPhase>(i)), ms,
-                      static_cast<unsigned long long>(calls_[i]),
+                      static_cast<unsigned long long>(phase.calls),
                       avg_us);
         out += buf;
     }

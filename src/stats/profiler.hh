@@ -44,6 +44,41 @@ enum class ProfPhase : std::uint8_t {
 /** Name of a phase (registry key component). */
 const char *profPhaseName(ProfPhase phase);
 
+/**
+ * Point-in-time copy of every phase's accumulators. This is the
+ * stable machine-readable export: harnesses (tools/mc_bench) take a
+ * snapshot before and after a measured region and report the delta.
+ * Parsing report() text or scraping `prof.*` keys out of a registry
+ * dump is deprecated — those renderings may change formatting;
+ * snapshot() may only gain fields.
+ */
+struct ProfSnapshot
+{
+    struct PhaseTotals
+    {
+        std::uint64_t ns = 0;
+        std::uint64_t calls = 0;
+    };
+
+    PhaseTotals phases[static_cast<std::size_t>(
+        ProfPhase::NumPhases)] = {};
+
+    const PhaseTotals &
+    operator[](ProfPhase phase) const
+    {
+        return phases[static_cast<std::size_t>(phase)];
+    }
+
+    PhaseTotals &
+    operator[](ProfPhase phase)
+    {
+        return phases[static_cast<std::size_t>(phase)];
+    }
+};
+
+/** Per-phase difference of two snapshots (b taken after a). */
+ProfSnapshot profDelta(const ProfSnapshot &a, const ProfSnapshot &b);
+
 /** Process-wide phase-time accumulator. */
 class Profiler
 {
@@ -90,6 +125,13 @@ class Profiler
         return calls_[static_cast<std::size_t>(phase)].load(
             std::memory_order_relaxed);
     }
+
+    /**
+     * Consistent-enough copy of all accumulators (each counter is
+     * read atomically; pairs may skew by an in-flight add, which a
+     * report-time reader cannot observe anyway).
+     */
+    ProfSnapshot snapshot() const;
 
     /** Zero all accumulators (enabled flag unchanged). */
     void reset();

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Bench-smoke CI leg: prove the perf-observability harness itself
+# works, not that CI hardware is fast. Four gates:
+#
+#   1. mc_bench --suite smoke emits a valid schema-1 BENCH document.
+#   2. mc_benchdiff of that document against itself exits 0.
+#   3. mc_benchdiff against a synthetically slowed re-run (the
+#      --slowdown-us busy-wait knob) exits nonzero — the regression
+#      gate fires end-to-end.
+#   4. The committed BENCH_*.json trajectory still diffs cleanly:
+#      schema understood, smoke cell ids overlap the committed
+#      default-suite cells. Absolute throughput is machine-dependent,
+#      so this diff uses a deliberately generous threshold and only
+#      catches catastrophic (>95%) collapses or id/schema drift.
+#
+# Run from the repo root: tools/ci_bench_smoke.sh [build-dir]
+set -eu
+
+builddir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+bench="$builddir/tools/mc_bench"
+if [ ! -x "$bench" ]; then
+    echo "FAIL: $bench not built (build the default targets first)" >&2
+    exit 1
+fi
+
+out="${MC_BENCH_SMOKE_DIR:-$builddir/bench-smoke}"
+mkdir -p "$out"
+
+echo "== bench smoke: measure =="
+"$bench" --suite smoke --warmup 1 --trials 3 --out "$out/now.json"
+
+echo "== bench smoke: schema sanity =="
+python3 - "$out/now.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == 1, doc["schema"]
+assert doc["tool"] == "mc_bench"
+assert doc["suite"] == "smoke"
+for key in ("gitSha", "compiler", "buildType"):
+    assert isinstance(doc["env"][key], str) and doc["env"][key]
+assert doc["protocol"]["trials"] == 3
+assert len(doc["cells"]) > 0
+for cell in doc["cells"]:
+    assert cell["medianRefsPerSec"] > 0, cell["id"]
+    assert len(cell["samples"]) == 3, cell["id"]
+    assert cell["allocCalls"] >= 0
+    assert "refProcessing" in cell["phases"], cell["id"]
+print("schema OK:", len(doc["cells"]), "cells")
+EOF
+
+echo "== bench smoke: self-diff must pass =="
+python3 tools/mc_benchdiff.py "$out/now.json" "$out/now.json"
+
+echo "== bench smoke: synthetic slowdown must be caught =="
+"$bench" --suite smoke --warmup 1 --trials 3 \
+    --slowdown-us 200000 --out "$out/slow.json" 2>/dev/null
+if python3 tools/mc_benchdiff.py "$out/now.json" "$out/slow.json" \
+    > "$out/slow-diff.txt" 2>&1; then
+    echo "FAIL: mc_benchdiff did not flag a 200ms/trial slowdown" >&2
+    cat "$out/slow-diff.txt" >&2
+    exit 1
+fi
+echo "slowdown regression detected (as required)"
+
+baseline="$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)"
+if [ -n "$baseline" ]; then
+    echo "== bench smoke: diff vs committed $baseline =="
+    # Cross-machine: gate only on schema/id compatibility and
+    # total collapse, not on CI-runner speed.
+    python3 tools/mc_benchdiff.py --threshold 95 \
+        "$baseline" "$out/now.json"
+else
+    echo "NOTICE: no committed BENCH_*.json found; skipping" \
+         "trajectory diff"
+fi
+
+echo "bench smoke: all checks passed"

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * mc_bench — the refs/sec scoreboard harness.
+ *
+ * Runs a pinned benchmark suite (see src/perf/bench.hh) under the
+ * warmup-discard trial protocol and emits a schema-versioned BENCH
+ * JSON document, stamped with git SHA / compiler / build type, that
+ * tools/mc_benchdiff.py can gate against a previous run:
+ *
+ *   mc_bench --suite default --trials 5 --out BENCH_7.json
+ *   mc_bench --suite smoke --trials 3 --out /tmp/now.json
+ *   tools/mc_benchdiff.py BENCH_7.json /tmp/now.json
+ *
+ * Wall-time numbers in the output are machine-dependent by nature;
+ * the simulated stats behind them are not (registry contract), so a
+ * BENCH file measures the implementation, never the model.
+ */
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "perf/bench.hh"
+
+namespace {
+
+using namespace morphcache;
+
+void usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: mc_bench [options]\n"
+        "\n"
+        "  --suite NAME     cell suite: smoke | default "
+        "(default: default)\n"
+        "  --out FILE       write BENCH JSON here (default: "
+        "stdout)\n"
+        "  --trials N       recorded trials per cell (default: "
+        "5, min 1)\n"
+        "  --warmup K       discarded leading trials per cell "
+        "(default: 1)\n"
+        "  --git-sha SHA    provenance stamp (default: "
+        "$MC_BENCH_GIT_SHA, else `git rev-parse HEAD`, else "
+        "\"unknown\")\n"
+        "  --build-jobs N   provenance stamp: -j the build used "
+        "(default: $MC_BENCH_BUILD_JOBS, else 0)\n"
+        "  --slowdown-us N  inject a busy-wait of N us per trial "
+        "(regression-gate self-test knob)\n"
+        "  --table          also print the human-readable table "
+        "to stderr\n"
+        "  -h, --help       this message\n");
+}
+
+/** `git rev-parse HEAD`, or "" when git/repo is unavailable. */
+std::string gitHeadSha()
+{
+    std::FILE *p = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+    if (p == nullptr)
+        return "";
+    char buf[128] = {0};
+    std::string sha;
+    if (std::fgets(buf, sizeof(buf), p) != nullptr)
+        sha = buf;
+    if (::pclose(p) != 0)
+        return "";
+    while (!sha.empty() &&
+           (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    for (char c : sha)
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return "";
+    return sha;
+}
+
+std::uint64_t parseU64Arg(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        throw ConfigError(std::string(flag) +
+                          ": expected a number, got \"" + value +
+                          "\"");
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+int main(int argc, char **argv)
+{
+    std::string suite = "default";
+    std::string outPath;
+    std::string gitSha;
+    unsigned buildJobs = 0;
+    bool wantTable = false;
+    BenchOptions opts;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    throw ConfigError(arg +
+                                      ": missing argument");
+                return argv[++i];
+            };
+            if (arg == "-h" || arg == "--help") {
+                usage(stdout);
+                return 0;
+            } else if (arg == "--suite") {
+                suite = next();
+            } else if (arg == "--out") {
+                outPath = next();
+            } else if (arg == "--trials") {
+                opts.trials = static_cast<std::size_t>(
+                    parseU64Arg("--trials", next()));
+                if (opts.trials == 0)
+                    throw ConfigError("--trials: must be >= 1");
+            } else if (arg == "--warmup") {
+                opts.warmup = static_cast<std::size_t>(
+                    parseU64Arg("--warmup", next()));
+            } else if (arg == "--git-sha") {
+                gitSha = next();
+            } else if (arg == "--build-jobs") {
+                buildJobs = static_cast<unsigned>(
+                    parseU64Arg("--build-jobs", next()));
+            } else if (arg == "--slowdown-us") {
+                opts.slowdownUsPerTrial =
+                    parseU64Arg("--slowdown-us", next());
+            } else if (arg == "--table") {
+                wantTable = true;
+            } else {
+                std::fprintf(stderr,
+                             "mc_bench: unknown option %s\n",
+                             arg.c_str());
+                usage(stderr);
+                return 2;
+            }
+        }
+
+        const std::vector<BenchCell> cells = benchSuite(suite);
+
+        BenchEnv env = localBenchEnv();
+        if (!gitSha.empty()) {
+            env.gitSha = gitSha;
+        } else if (const char *e = std::getenv("MC_BENCH_GIT_SHA");
+                   e != nullptr && e[0] != '\0') {
+            env.gitSha = e;
+        } else if (std::string head = gitHeadSha();
+                   !head.empty()) {
+            env.gitSha = head;
+        }
+        if (buildJobs != 0) {
+            env.buildJobs = buildJobs;
+        } else if (const char *e =
+                       std::getenv("MC_BENCH_BUILD_JOBS");
+                   e != nullptr && e[0] != '\0') {
+            env.buildJobs = static_cast<unsigned>(
+                parseU64Arg("MC_BENCH_BUILD_JOBS", e));
+        }
+
+        std::vector<BenchCellResult> results;
+        results.reserve(cells.size());
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::fprintf(stderr,
+                         "mc_bench: [%zu/%zu] %s (%zu+%zu "
+                         "trials)\n",
+                         i + 1, cells.size(),
+                         cells[i].id().c_str(), opts.warmup,
+                         opts.trials);
+            results.push_back(runBenchCell(cells[i], opts));
+            const BenchCellResult &r = results.back();
+            std::fprintf(stderr,
+                         "mc_bench:   %.3f Mrefs/s (MAD %.3f)\n",
+                         r.refsPerSec.median / 1e6,
+                         r.refsPerSec.mad / 1e6);
+        }
+
+        const std::string doc =
+            renderBenchJson(suite, opts, env, results);
+        if (outPath.empty()) {
+            std::fwrite(doc.data(), 1, doc.size(), stdout);
+        } else {
+            std::FILE *f = std::fopen(outPath.c_str(), "w");
+            if (f == nullptr) {
+                std::fprintf(stderr,
+                             "mc_bench: cannot open %s: %s\n",
+                             outPath.c_str(),
+                             std::strerror(errno));
+                return 1;
+            }
+            const bool ok =
+                std::fwrite(doc.data(), 1, doc.size(), f) ==
+                doc.size();
+            if (std::fclose(f) != 0 || !ok) {
+                std::fprintf(stderr,
+                             "mc_bench: write to %s failed\n",
+                             outPath.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "mc_bench: wrote %s (%zu cells)\n",
+                         outPath.c_str(), results.size());
+        }
+        if (wantTable) {
+            const std::string table = renderBenchTable(results);
+            std::fwrite(table.data(), 1, table.size(), stderr);
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "mc_bench: error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare two mc_bench BENCH JSON files cell-by-cell.
+
+Usage:
+    tools/mc_benchdiff.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Matches cells of the two files by their stable id
+("morph/mix:8/c8/e6/r6000/s42"), prints a per-cell delta table, and
+exits nonzero when any matched cell's median refs/sec dropped by more
+than --threshold percent (default 10).
+
+Exit codes:
+    0  no regression beyond the threshold
+    1  at least one cell regressed
+    2  usage / schema / input error (including zero overlapping cells,
+       which would otherwise vacuously "pass")
+
+Wall-clock throughput is machine-dependent: compare files from the
+same host (CI smoke leg compares a run against itself and against a
+synthetically slowed copy; cross-machine diffs against the committed
+BENCH_<PR>.json trajectory need a generous threshold).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_bench(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"mc_benchdiff: cannot read {path}: {e}")
+    if not isinstance(doc, dict) or doc.get("tool") != "mc_bench":
+        raise SystemExit(
+            f"mc_benchdiff: {path}: not an mc_bench BENCH file")
+    schema = doc.get("schema")
+    if schema != 1:
+        raise SystemExit(
+            f"mc_benchdiff: {path}: unsupported schema {schema!r} "
+            "(this tool understands schema 1)")
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        raise SystemExit(f"mc_benchdiff: {path}: missing cells[]")
+    by_id = {}
+    for cell in cells:
+        cid = cell.get("id")
+        median = cell.get("medianRefsPerSec")
+        if not isinstance(cid, str) or not isinstance(
+                median, (int, float)):
+            raise SystemExit(
+                f"mc_benchdiff: {path}: malformed cell {cell!r}")
+        by_id[cid] = cell
+    return doc, by_id
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="mc_benchdiff.py",
+        description="Gate on median refs/sec regression between two "
+        "BENCH files.")
+    ap.add_argument("baseline", help="older BENCH json")
+    ap.add_argument("current", help="newer BENCH json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail when a cell's median drops more than PCT%% "
+        "(default: %(default)s)")
+    args = ap.parse_args(argv)
+    if args.threshold < 0:
+        ap.error("--threshold must be >= 0")
+
+    base_doc, base = load_bench(args.baseline)
+    cur_doc, cur = load_bench(args.current)
+
+    shared = [cid for cid in base if cid in cur]
+    if not shared:
+        print(
+            "mc_benchdiff: no overlapping cell ids between "
+            f"{args.baseline} and {args.current}",
+            file=sys.stderr)
+        return 2
+
+    base_sha = base_doc.get("env", {}).get("gitSha", "?")
+    cur_sha = cur_doc.get("env", {}).get("gitSha", "?")
+    print(f"baseline : {args.baseline} (git {base_sha})")
+    print(f"current  : {args.current} (git {cur_sha})")
+    print(f"threshold: -{args.threshold:g}% median refs/sec")
+    print()
+    width = max(len(cid) for cid in shared)
+    print(f"{'cell':<{width}}  {'base Mr/s':>10}  {'cur Mr/s':>10}"
+          f"  {'delta':>8}")
+
+    regressions = []
+    for cid in shared:
+        b = base[cid]["medianRefsPerSec"]
+        c = cur[cid]["medianRefsPerSec"]
+        if b <= 0:
+            delta_pct = 0.0
+        else:
+            delta_pct = 100.0 * (c - b) / b
+        flag = ""
+        if delta_pct < -args.threshold:
+            regressions.append((cid, delta_pct))
+            flag = "  REGRESSED"
+        print(f"{cid:<{width}}  {b / 1e6:>10.3f}  {c / 1e6:>10.3f}"
+              f"  {delta_pct:>+7.1f}%{flag}")
+
+    skipped = (len(base) - len(shared), len(cur) - len(shared))
+    if any(skipped):
+        print(f"\n(unmatched cells ignored: {skipped[0]} "
+              f"baseline-only, {skipped[1]} current-only)")
+
+    if regressions:
+        print(
+            f"\nmc_benchdiff: {len(regressions)} cell(s) regressed "
+            f"beyond {args.threshold:g}%",
+            file=sys.stderr)
+        return 1
+    print(f"\nmc_benchdiff: OK ({len(shared)} cells within "
+          f"{args.threshold:g}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -419,8 +419,56 @@ runStatus(const Options &opts)
     std::printf("status     : %zu done, %zu failed, %zu running, "
                 "%zu pending\n",
                 done, failed, leased, pending);
-    return done + failed == cells.size() ? 0
-                                         : campaignInProgressExit;
+
+    // Live throughput telemetry from manifest event timestamps:
+    // done/total, cells/min, per-worker rates, and an ETA for the
+    // remaining cells. Purely advisory — absent when the manifest
+    // predates timestamps or nothing has finished yet.
+    const ManifestTiming timing =
+        foldManifestTiming(opts.manifestPath);
+    const double rate = timing.cellsPerMinute();
+    const std::size_t finished = done + failed;
+    const std::size_t remaining = cells.size() - finished;
+    char pbuf[160];
+    if (rate > 0.0) {
+        std::snprintf(pbuf, sizeof(pbuf),
+                      "progress   : %zu/%zu done, %.1f cells/min",
+                      finished, cells.size(), rate);
+        std::string line = pbuf;
+        if (remaining > 0) {
+            const double eta_s =
+                60.0 * static_cast<double>(remaining) / rate;
+            if (eta_s >= 90.0) {
+                std::snprintf(pbuf, sizeof(pbuf),
+                              ", ETA %.1f min", eta_s / 60.0);
+            } else {
+                std::snprintf(pbuf, sizeof(pbuf),
+                              ", ETA %.0f s", eta_s);
+            }
+            line += pbuf;
+        }
+        std::printf("%s\n", line.c_str());
+    } else {
+        std::printf("progress   : %zu/%zu done\n", finished,
+                    cells.size());
+    }
+    for (const auto &entry : timing.workers) {
+        const WorkerTiming &w = entry.second;
+        if (w.done == 0)
+            continue;
+        const double window = w.lastT - w.firstT;
+        if (window > 0.0) {
+            std::printf("worker     : %-24s %zu cells, %.1f "
+                        "cells/min\n",
+                        entry.first.c_str(), w.done,
+                        60.0 * static_cast<double>(w.done) /
+                            window);
+        } else {
+            std::printf("worker     : %-24s %zu cells\n",
+                        entry.first.c_str(), w.done);
+        }
+    }
+    return finished == cells.size() ? 0 : campaignInProgressExit;
 }
 
 int

@@ -5,14 +5,21 @@ Statically enforces the DESIGN.md section 9 determinism contract and
 the repo's source conventions over ``src/``:
 
 ``determinism``
-    No ``rand()``/``srand()``/``std::random_device``, no libc
-    ``time()``/``clock()``, and no wall-clock reads
-    (``steady_clock``/``system_clock``/``high_resolution_clock``/
-    ``gettimeofday``/``clock_gettime``) in simulation code. Seeds are
-    functions of position (``sweepCellSeed``), never of schedule or
-    wall time; the only sanctioned wall-clock reader is the telemetry
-    profiler (``src/stats/profiler.hh``), which never feeds
-    simulation inputs.
+    No ``rand()``/``srand()``/``std::random_device`` and no libc
+    ``time()``/``clock()`` in simulation code. Seeds are functions
+    of position (``sweepCellSeed``), never of schedule or wall time.
+
+``wall-clock``
+    No direct wall-clock reads (``steady_clock``/``system_clock``/
+    ``high_resolution_clock``/``gettimeofday``/``clock_gettime``/
+    ``timespec_get``) anywhere in ``src/``, ``tools/``, or
+    ``bench/`` outside the sanctioned sites: the clock shim
+    (``src/perf/clock.cc``, the one place that names a kernel
+    clock), the telemetry profiler (``src/stats/profiler.hh``),
+    lease deadlines (``src/runner/lease.cc``), and executor
+    watchdogs (``src/runner/executor.cc``). Everything else calls
+    ``perfNowNs()``/``unixNowSec()`` so timing stays telemetry-only
+    and auditable from one file.
 
 ``globals``
     No mutable file-scope state outside the sanctioned process-wide
@@ -64,7 +71,11 @@ import re
 import sys
 
 # Paths are repo-root-relative with forward slashes.
-DETERMINISM_ALLOW = {
+DETERMINISM_ALLOW: set[str] = set()
+WALL_CLOCK_ALLOW = {
+    # The sanctioned clock shim: the one translation unit allowed to
+    # name a kernel clock (CLOCK_MONOTONIC / CLOCK_REALTIME).
+    "src/perf/clock.cc",
     # Telemetry-only steady_clock reads; relaxed-atomic counters that
     # never feed simulation inputs (DESIGN.md section 9 rule 2).
     "src/stats/profiler.hh",
@@ -85,6 +96,10 @@ GLOBALS_ALLOW = {
     # touch a volatile sig_atomic_t at namespace scope, and it gates
     # shutdown, never simulated values.
     "src/ckpt/ckpt.cc",
+    # Allocation-meter counters: process-wide relaxed atomics by
+    # necessity (they live under global operator new/delete) that
+    # carry telemetry only, never simulated values.
+    "src/perf/allocmeter.cc",
 }
 STATS_BYPASS_ALLOW: set[str] = set()
 ATOMIC_WRITE_ALLOW = {
@@ -126,6 +141,9 @@ DETERMINISM_PATTERNS = [
      "libc time()/clock()"),
     (re.compile(r"([-=+(,*/%<>!&|?]|\breturn\b)\s*(time|clock)\s*\(\s*\)"),
      "libc time()/clock()"),
+]
+
+WALL_CLOCK_PATTERNS = [
     (re.compile(r"\b(steady_clock|system_clock|high_resolution_clock)\b"),
      "wall-clock read"),
     (re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\s*\("),
@@ -219,6 +237,21 @@ def check_determinism(path: str, code: str) -> list[Finding]:
                     path, lineno, "determinism",
                     f"{what} in simulation code; derive values from "
                     "seeds/cycles (DESIGN.md section 9)"))
+    return findings
+
+
+def check_wall_clock(path: str, code: str) -> list[Finding]:
+    if path in WALL_CLOCK_ALLOW:
+        return []
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for pattern, what in WALL_CLOCK_PATTERNS:
+            if pattern.search(line):
+                findings.append(Finding(
+                    path, lineno, "wall-clock",
+                    f"{what} outside the sanctioned clock sites; "
+                    "call perfNowNs()/unixNowSec() from "
+                    "src/perf/clock.hh (DESIGN.md section 13)"))
     return findings
 
 
@@ -423,12 +456,18 @@ def lint_file(path: str, repo_root: str) -> list[Finding]:
         raw = f.read()
     code = strip_comments_and_strings(raw)
     findings = []
-    findings += check_determinism(path, code)
-    findings += check_globals(path, code)
-    findings += check_stats_bypass(path, code)
-    findings += check_atomic_write(path, raw)
-    findings += check_manifest_write(path, code)
-    findings += check_includes(path, raw, repo_root)
+    # The wall-clock funnel covers every scanned root; the simulation
+    # conventions (registry-only stdout, no file-scope state, atomic
+    # writes, include hygiene) are src/-library contracts — tools and
+    # bench drivers legitimately print and parse argv.
+    findings += check_wall_clock(path, code)
+    if path.startswith("src/"):
+        findings += check_determinism(path, code)
+        findings += check_globals(path, code)
+        findings += check_stats_bypass(path, code)
+        findings += check_atomic_write(path, raw)
+        findings += check_manifest_write(path, code)
+        findings += check_includes(path, raw, repo_root)
     return findings
 
 
@@ -453,9 +492,9 @@ def main(argv: list[str]) -> int:
         prog="mc_lint.py",
         description="MorphCache determinism & convention linter")
     parser.add_argument(
-        "paths", nargs="*", default=["src"],
+        "paths", nargs="*", default=["src", "tools", "bench"],
         help="files or directories to lint, repo-root-relative "
-             "(default: src)")
+             "(default: src tools bench)")
     parser.add_argument(
         "--repo-root",
         default=os.path.dirname(
@@ -467,7 +506,8 @@ def main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     sources = collect_sources(args.repo_root,
-                              args.paths or ["src"])
+                              args.paths or ["src", "tools",
+                                             "bench"])
     if not sources:
         print("mc_lint: no sources found", file=sys.stderr)
         return 2

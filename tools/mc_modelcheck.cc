@@ -14,7 +14,6 @@
  * counterexample was found (printed to stdout), 1 on usage errors.
  */
 
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -22,6 +21,7 @@
 
 #include "check/model_checker.hh"
 #include "common/error.hh"
+#include "perf/clock.hh"
 
 namespace {
 
@@ -152,11 +152,9 @@ main(int argc, char **argv)
 
     try {
         TopologyModelChecker checker(config);
-        const auto t0 = std::chrono::steady_clock::now();
+        const double t0 = perfNowSec();
         const bool clean = checker.run();
-        const auto t1 = std::chrono::steady_clock::now();
-        const double seconds =
-            std::chrono::duration<double>(t1 - t0).count();
+        const double seconds = perfNowSec() - t0;
 
         if (!clean) {
             printCounterexample(std::cout,

@@ -86,7 +86,6 @@
  *   morphcache_sim --workload trace:mix01.mctrace --scheme dsr
  */
 
-#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -100,6 +99,7 @@
 #include "ckpt/ckpt.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "perf/clock.hh"
 #include "runner/campaign.hh"
 #include "runner/run_factory.hh"
 #include "runner/sim_sweep.hh"
@@ -499,12 +499,9 @@ runSweep(const Options &opts)
         }
     }
 
-    const auto wall_start = std::chrono::steady_clock::now();
+    const double wall_start = perfNowSec();
     const auto results = runSimSweep(cells, opts.jobs);
-    const double wall_s =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - wall_start)
-            .count();
+    const double wall_s = perfNowSec() - wall_start;
 
     std::printf("sweep      : %zu cells (mixes %u-%u x %u seeds), "
                 "scheme %s\n",
