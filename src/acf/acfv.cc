@@ -7,24 +7,11 @@
 namespace morphcache {
 
 Acfv::Acfv(std::uint32_t num_bits, HashKind kind)
-    : numBits_(num_bits), kind_(kind),
+    : numBits_(num_bits), log2Bits_(0), kind_(kind),
       words_((num_bits + 63) / 64, 0)
 {
     MC_ASSERT(num_bits >= 2 && isPowerOf2(num_bits));
-}
-
-void
-Acfv::set(Addr line_addr)
-{
-    const std::uint32_t i = hashTag(kind_, line_addr, numBits_);
-    words_[i / 64] |= (1ULL << (i % 64));
-}
-
-void
-Acfv::clear(Addr line_addr)
-{
-    const std::uint32_t i = hashTag(kind_, line_addr, numBits_);
-    words_[i / 64] &= ~(1ULL << (i % 64));
+    log2Bits_ = exactLog2(num_bits);
 }
 
 void

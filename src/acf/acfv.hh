@@ -40,11 +40,45 @@ class Acfv
     explicit Acfv(std::uint32_t num_bits = 128,
                   HashKind kind = HashKind::Xor);
 
+    /**
+     * Bit index a footprint unit hashes to. Exposed so callers that
+     * fan one unit across many same-geometry vectors (the level's
+     * eviction bookkeeping walks every core's vector for one slice)
+     * can hash once and reuse the index.
+     */
+    std::uint32_t
+    bitIndex(Addr unit) const
+    {
+        return hashTagLog2(kind_, unit, log2Bits_);
+    }
+
     /** Record a reference/fill of a line. */
-    void set(Addr line_addr);
+    void
+    set(Addr line_addr)
+    {
+        setBitIndex(bitIndex(line_addr));
+    }
 
     /** Record an eviction of a line. */
-    void clear(Addr line_addr);
+    void
+    clear(Addr line_addr)
+    {
+        clearBitIndex(bitIndex(line_addr));
+    }
+
+    /** Set a bit by precomputed index (see bitIndex()). */
+    void
+    setBitIndex(std::uint32_t i)
+    {
+        words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+    }
+
+    /** Clear a bit by precomputed index (see bitIndex()). */
+    void
+    clearBitIndex(std::uint32_t i)
+    {
+        words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
 
     /** Epoch-boundary reset: clear every bit. */
     void resetAll();
@@ -109,6 +143,8 @@ class Acfv
 
   private:
     std::uint32_t numBits_;
+    /** exactLog2(numBits_), cached so hot hashing skips the assert. */
+    unsigned log2Bits_;
     HashKind kind_;
     std::vector<std::uint64_t> words_;
 };

@@ -38,6 +38,37 @@ enum class HashKind : std::uint8_t {
 };
 
 /**
+ * Maps a cache tag to a bit index in [0, 2^bits). Hot-path variant:
+ * takes log2 of the bucket count directly so per-reference callers
+ * (the ACFV bank caches it at construction) skip the exactLog2
+ * assert-and-count on every hash.
+ *
+ * @param kind Hash family.
+ * @param tag Cache tag (or line address; any stable line key).
+ * @param bits log2 of the ACFV length (1 <= bits < 64).
+ */
+inline std::uint32_t
+hashTagLog2(HashKind kind, Addr tag, unsigned bits)
+{
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    switch (kind) {
+      case HashKind::Xor: {
+        // Fold the 64-bit tag into `bits` bits by XORing chunks.
+        std::uint64_t folded = 0;
+        for (unsigned lo = 0; lo < 64; lo += bits)
+            folded ^= (tag >> lo);
+        return static_cast<std::uint32_t>(folded & mask);
+      }
+      case HashKind::Fibonacci:
+        return static_cast<std::uint32_t>(
+            (tag * 0x9e3779b97f4a7c15ULL) >> (64 - bits));
+      case HashKind::Modulo:
+      default:
+        return static_cast<std::uint32_t>(tag & mask);
+    }
+}
+
+/**
  * Maps a cache tag to a bit index in [0, buckets).
  *
  * @param kind Hash family.
@@ -47,22 +78,7 @@ enum class HashKind : std::uint8_t {
 inline std::uint32_t
 hashTag(HashKind kind, Addr tag, std::uint32_t buckets)
 {
-    const unsigned bits = exactLog2(buckets);
-    switch (kind) {
-      case HashKind::Xor: {
-        // Fold the 64-bit tag into `bits` bits by XORing chunks.
-        std::uint64_t folded = 0;
-        for (unsigned lo = 0; lo < 64; lo += bits)
-            folded ^= (tag >> lo);
-        return static_cast<std::uint32_t>(folded & (buckets - 1));
-      }
-      case HashKind::Fibonacci:
-        return static_cast<std::uint32_t>(
-            (tag * 0x9e3779b97f4a7c15ULL) >> (64 - bits));
-      case HashKind::Modulo:
-      default:
-        return static_cast<std::uint32_t>(tag & (buckets - 1));
-    }
+    return hashTagLog2(kind, tag, exactLog2(buckets));
 }
 
 } // namespace morphcache

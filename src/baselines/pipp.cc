@@ -17,6 +17,12 @@ UtilityMonitor::UtilityMonitor(std::uint64_t num_sets,
 {
     MC_ASSERT(total_ways > 0);
     MC_ASSERT((num_sets >> sample_shift) > 0);
+    // access() inserts at MRU before trimming to totalWays_, so a
+    // stack transiently holds totalWays_ + 1 entries. Reserving
+    // that up front makes the steady-state ATD update
+    // allocation-free instead of lazily growing per sampled set.
+    for (auto &stack : stacks_)
+        stack.reserve(std::size_t{total_ways} + 1);
 }
 
 void

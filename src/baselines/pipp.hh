@@ -69,12 +69,17 @@ class UtilityMonitor
     {
         r.expectU64("UMON stack count", stacks_.size());
         for (std::vector<Addr> &stack : stacks_) {
-            std::vector<Addr> loaded = r.u64Vec();
+            const std::vector<Addr> loaded = r.u64Vec();
             if (loaded.size() > totalWays_)
                 r.fail("UMON stack depth " +
                        std::to_string(loaded.size()) +
                        " exceeds group ways");
-            stack = std::move(loaded);
+            // Copy into the existing buffer rather than adopting
+            // `loaded`: the stacks are reserved to totalWays_ + 1
+            // at construction and must keep that capacity so the
+            // post-resume hot path stays allocation-free.
+            stack.clear();
+            stack.insert(stack.end(), loaded.begin(), loaded.end());
         }
         std::vector<std::uint64_t> hits = r.u64Vec();
         if (hits.size() != hits_.size())

@@ -1,5 +1,7 @@
 #include "baselines/ucp.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace morphcache {
@@ -10,11 +12,29 @@ UcpPolicy::UcpPolicy(std::uint32_t num_cores, std::uint64_t num_sets,
       numSlices_(num_slices), assoc_(assoc),
       quota_(num_cores,
              std::max(1u, num_slices * assoc / num_cores)),
-      owner_(std::size_t{num_slices} * num_sets * assoc, invalidCore)
+      owner_(std::size_t{num_slices} * num_sets * assoc, invalidCore),
+      ownedCount_(num_sets * num_cores, 0)
 {
     monitors_.reserve(num_cores);
     for (std::uint32_t c = 0; c < num_cores; ++c)
         monitors_.emplace_back(num_sets, num_slices * assoc);
+}
+
+void
+UcpPolicy::rebuildOwnedCounts()
+{
+    std::fill(ownedCount_.begin(), ownedCount_.end(), 0u);
+    for (std::uint32_t s = 0; s < numSlices_; ++s) {
+        for (std::uint64_t set = 0; set < numSets_; ++set) {
+            for (std::uint32_t w = 0; w < assoc_; ++w) {
+                const CoreId who =
+                    owner_[ownerIndex(static_cast<SliceId>(s), set,
+                                      w)];
+                if (who < numCores_)
+                    ++ownedCount_[set * numCores_ + who];
+            }
+        }
+    }
 }
 
 std::size_t
@@ -49,96 +69,94 @@ UcpPolicy::insert(CacheLevelModel &level, CoreId core, Addr line_addr,
 {
     const std::uint64_t set = level.slice(0).setIndex(line_addr);
 
-    // Survey the set: invalid ways, per-core owned counts, and the
-    // LRU line per ownership class.
-    SliceId invalid_slice = invalidSlice;
-    std::uint32_t invalid_way = 0;
-    std::vector<std::uint32_t> owned(numCores_, 0);
-
-    SliceId own_lru_slice = invalidSlice;
-    std::uint32_t own_lru_way = 0;
-    std::uint64_t own_lru_stamp = ~std::uint64_t{0};
-
-    for (std::uint32_t s = 0; s < numSlices_ && invalid_slice ==
-                                                    invalidSlice;
-         ++s) {
-        for (std::uint32_t w = 0; w < assoc_; ++w) {
-            const CacheLine &line =
-                level.slice(static_cast<SliceId>(s)).lineAt(set, w);
-            if (!line.valid) {
-                invalid_slice = static_cast<SliceId>(s);
-                invalid_way = w;
-                break;
-            }
-            const CoreId who = owner_[ownerIndex(
-                static_cast<SliceId>(s), set, w)];
-            if (who < numCores_) {
-                ++owned[who];
-                if (who == core && line.stamp < own_lru_stamp) {
-                    own_lru_stamp = line.stamp;
-                    own_lru_slice = static_cast<SliceId>(s);
-                    own_lru_way = w;
-                }
-            }
+    // 1) First invalid way, slice-major: one valid-word scan per
+    //    slice, no stamps touched.
+    SliceId target = invalidSlice;
+    std::uint32_t target_way = 0;
+    for (std::uint32_t s = 0; s < numSlices_; ++s) {
+        const std::uint32_t inv =
+            level.slice(static_cast<SliceId>(s)).firstInvalidWay(set);
+        if (inv != assoc_) {
+            target = static_cast<SliceId>(s);
+            target_way = inv;
+            break;
         }
     }
 
-    SliceId target;
-    std::uint32_t target_way;
-    if (invalid_slice != invalidSlice) {
-        target = invalid_slice;
-        target_way = invalid_way;
-    } else if (owned[core] >= quota_[core] &&
-               own_lru_slice != invalidSlice) {
-        // At quota: replace own LRU line.
-        target = own_lru_slice;
-        target_way = own_lru_way;
-    } else {
-        // Under quota: take the LRU line of an over-quota core
-        // (global LRU as the fallback).
-        SliceId lru_slice = invalidSlice;
-        std::uint32_t lru_way = 0;
-        std::uint64_t lru_stamp = ~std::uint64_t{0};
-        SliceId over_slice = invalidSlice;
-        std::uint32_t over_way = 0;
-        std::uint64_t over_stamp = ~std::uint64_t{0};
-        for (std::uint32_t s = 0; s < numSlices_; ++s) {
-            for (std::uint32_t w = 0; w < assoc_; ++w) {
-                const CacheLine &line =
-                    level.slice(static_cast<SliceId>(s))
-                        .lineAt(set, w);
-                if (!line.valid)
-                    continue;
-                if (line.stamp < lru_stamp) {
-                    lru_stamp = line.stamp;
-                    lru_slice = static_cast<SliceId>(s);
-                    lru_way = w;
+    if (target == invalidSlice) {
+        // Set fully valid: every way's owner entry is current, so
+        // the incremental tallies equal what a full survey would
+        // count and the replacement branch can be chosen before
+        // reading a single stamp. Stamps are unique within a level
+        // (one monotonic counter), so each strict slice-major
+        // minimum below selects exactly the line the survey-based
+        // scan picked.
+        const std::uint32_t *cnt = &ownedCount_[set * numCores_];
+        std::uint64_t best = ~std::uint64_t{0};
+        if (cnt[core] >= quota_[core] && cnt[core] > 0) {
+            // At quota: replace own LRU line.
+            for (std::uint32_t s = 0; s < numSlices_; ++s) {
+                const CacheSlice &slice =
+                    level.slice(static_cast<SliceId>(s));
+                const std::size_t base =
+                    ownerIndex(static_cast<SliceId>(s), set, 0);
+                for (std::uint32_t w = 0; w < assoc_; ++w) {
+                    if (owner_[base + w] != core)
+                        continue;
+                    const std::uint64_t stamp = slice.stampAt(set, w);
+                    if (stamp < best) {
+                        best = stamp;
+                        target = static_cast<SliceId>(s);
+                        target_way = w;
+                    }
                 }
-                const CoreId who = owner_[ownerIndex(
-                    static_cast<SliceId>(s), set, w)];
-                if (who < numCores_ && owned[who] > quota_[who] &&
-                    line.stamp < over_stamp) {
-                    over_stamp = line.stamp;
-                    over_slice = static_cast<SliceId>(s);
-                    over_way = w;
+            }
+        } else {
+            // Under quota: take the LRU line of an over-quota core
+            // (global LRU when no core is over quota).
+            bool any_over = false;
+            for (std::uint32_t c = 0; c < numCores_; ++c) {
+                if (cnt[c] > quota_[c]) {
+                    any_over = true;
+                    break;
+                }
+            }
+            for (std::uint32_t s = 0; s < numSlices_; ++s) {
+                const CacheSlice &slice =
+                    level.slice(static_cast<SliceId>(s));
+                const std::size_t base =
+                    ownerIndex(static_cast<SliceId>(s), set, 0);
+                for (std::uint32_t w = 0; w < assoc_; ++w) {
+                    if (any_over) {
+                        const CoreId who = owner_[base + w];
+                        if (who >= numCores_ ||
+                            cnt[who] <= quota_[who]) {
+                            continue;
+                        }
+                    }
+                    const std::uint64_t stamp = slice.stampAt(set, w);
+                    if (stamp < best) {
+                        best = stamp;
+                        target = static_cast<SliceId>(s);
+                        target_way = w;
+                    }
                 }
             }
         }
-        if (over_slice != invalidSlice) {
-            target = over_slice;
-            target_way = over_way;
-        } else {
-            MC_ASSERT(lru_slice != invalidSlice);
-            target = lru_slice;
-            target_way = lru_way;
-        }
+        MC_ASSERT(target != invalidSlice);
     }
 
     out = level.fillAt(core, target, target_way, line_addr, dirty);
-    owner_[ownerIndex(target, set, target_way)] = core;
+    const std::size_t idx = ownerIndex(target, set, target_way);
+    const CoreId prev = owner_[idx];
+    if (prev != core) {
+        if (prev < numCores_)
+            --ownedCount_[set * numCores_ + prev];
+        ++ownedCount_[set * numCores_ + core];
+        owner_[idx] = core;
+    }
     return true;
 }
-
 void
 UcpPolicy::epochBoundary()
 {

@@ -89,6 +89,7 @@ class UcpPolicy : public LevelHooks
                        " out of range");
             owner = static_cast<CoreId>(v);
         }
+        rebuildOwnedCounts();
     }
 
   private:
@@ -104,6 +105,20 @@ class UcpPolicy : public LevelHooks
     std::vector<std::uint32_t> quota_;
     /** Owner core of each (slice, set, way); invalidCore if none. */
     std::vector<CoreId> owner_;
+    /**
+     * Incremental per-(set, core) tally of the owner table:
+     * ownedCount_[set * numCores + c] == #{ways of `set` across all
+     * slices whose owner_ entry is c}. Maintained at every owner_
+     * write and rebuilt after loadState(), it lets insert() choose
+     * its replacement branch up front and scan only the stamps that
+     * branch needs. The full-survey tallies it replaces were only
+     * ever consulted for fully valid sets, where every way's owner
+     * entry is current and equals exactly this count.
+     */
+    std::vector<std::uint32_t> ownedCount_;
+
+    /** Recompute ownedCount_ from owner_ (after a checkpoint load). */
+    void rebuildOwnedCounts();
 };
 
 /**

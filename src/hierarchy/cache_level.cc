@@ -26,6 +26,9 @@ CacheLevelModel::CacheLevelModel(const LevelParams &params)
             params_.sliceGeom.numSets());
     }
     MC_ASSERT(isPowerOf2(acfvGranularity_));
+    acfvGranShift_ = exactLog2(acfvGranularity_);
+    stampScratch_.reserve(std::size_t{params_.numSlices} *
+                          params_.sliceGeom.assoc);
     slices_.reserve(params_.numSlices);
     for (std::uint32_t i = 0; i < params_.numSlices; ++i) {
         slices_.emplace_back(static_cast<SliceId>(i),
@@ -131,24 +134,22 @@ CacheLevelModel::lookup(CoreId core, Addr line_addr, Cycle now)
     LookupOutcome out;
     out.latency = params_.localHitLatency;
 
-    CacheSlice &own = slices_[core];
-    const std::uint64_t set = own.setIndex(line_addr);
-
-    const auto own_way = own.probe(line_addr);
+    const std::uint64_t set = slices_[core].setIndex(line_addr);
     const auto &group = groupSlices(core);
     stats_.sliceProbes += group.size(); // own + broadcast probes
 
     // Lazy invalidation (Section 2.2): if the line is duplicated
     // across member slices after a merge, keep one copy — the local
-    // one if present, else the most recently used — and invalidate
-    // the rest the first time it is touched.
+    // one if present, else the first member found in group order —
+    // and invalidate the rest the first time it is touched. The
+    // per-slice tag arrays are small enough to stay cache-resident,
+    // so the broadcast probe is a handful of hot word scans.
     SliceId hit_slice = invalidSlice;
     std::uint32_t hit_way = 0;
-    if (own_way) {
+    if (const auto own_way = slices_[core].probe(line_addr)) {
         hit_slice = static_cast<SliceId>(core);
         hit_way = *own_way;
     }
-    bool probed_remote = false;
     if (group.size() > 1) {
         for (SliceId member : group) {
             if (member == core)
@@ -156,13 +157,13 @@ CacheLevelModel::lookup(CoreId core, Addr line_addr, Cycle now)
             const auto way = slices_[member].probe(line_addr);
             if (!way)
                 continue;
-            probed_remote = true;
             if (hit_slice == invalidSlice) {
                 hit_slice = member;
                 hit_way = *way;
             } else {
                 // Duplicate: drop this copy.
-                const Eviction dup = slices_[member].invalidate(line_addr);
+                const Eviction dup =
+                    slices_[member].invalidateAt(set, *way);
                 noteEviction(member, line_addr, dup.reused);
                 ++stats_.lazyInvalidations;
             }
@@ -203,7 +204,6 @@ CacheLevelModel::lookup(CoreId core, Addr line_addr, Cycle now)
         }
         out.latency += params_.remoteHitExtraCycles;
     }
-    (void)probed_remote;
     if (out.remote)
         ++stats_.remoteHits;
     else
@@ -216,7 +216,7 @@ CacheLevelModel::lookup(CoreId core, Addr line_addr, Cycle now)
     }
     if (default_promote)
         slices_[hit_slice].touch(set, hit_way, nextStamp());
-    acfvRef(core, hit_slice).set(line_addr / acfvGranularity_);
+    acfvRef(core, hit_slice).set(line_addr >> acfvGranShift_);
     if (params_.trackOracle) {
         oracles_[std::size_t{hit_slice} * params_.numSlices + core]
             .set(line_addr);
@@ -240,16 +240,13 @@ CacheLevelModel::insert(CoreId core, Addr line_addr, bool dirty)
     std::uint32_t target_way = 0;
 
     auto find_invalid = [&](SliceId member) -> bool {
-        const CacheSlice &slice = slices_[member];
-        for (std::uint32_t way = 0; way < params_.sliceGeom.assoc;
-             ++way) {
-            if (!slice.lineAt(set, way).valid) {
-                target = member;
-                target_way = way;
-                return true;
-            }
-        }
-        return false;
+        const std::uint32_t way =
+            slices_[member].firstInvalidWay(set);
+        if (way == params_.sliceGeom.assoc)
+            return false;
+        target = member;
+        target_way = way;
+        return true;
     };
 
     if (!find_invalid(static_cast<SliceId>(core))) {
@@ -265,9 +262,10 @@ CacheLevelModel::insert(CoreId core, Addr line_addr, bool dirty)
             std::uint64_t oldest = ~std::uint64_t{0};
             for (SliceId member : group) {
                 const std::uint32_t way = slices_[member].victimWay(set);
-                const auto &line = slices_[member].lineAt(set, way);
-                if (line.stamp < oldest) {
-                    oldest = line.stamp;
+                const std::uint64_t stamp =
+                    slices_[member].stampAt(set, way);
+                if (stamp < oldest) {
+                    oldest = stamp;
                     target = member;
                     target_way = way;
                 }
@@ -309,7 +307,7 @@ CacheLevelModel::fillInto(CoreId core, SliceId target,
         noteEviction(target, out.evicted.lineAddr,
                      out.evicted.reused);
     }
-    acfvRef(core, target).set(line_addr / acfvGranularity_);
+    acfvRef(core, target).set(line_addr >> acfvGranShift_);
     if (params_.trackOracle) {
         oracles_[std::size_t{target} * params_.numSlices + core]
             .set(line_addr);
@@ -325,53 +323,53 @@ CacheLevelModel::insertAtStackPosition(CoreId core, Addr line_addr,
     const auto &group = groupSlices(core);
     const std::uint64_t set = slices_[core].setIndex(line_addr);
 
-    // Victim: an invalid way anywhere in the group, else the
-    // group-wide LRU line.
+    // Victim: the first member (in group order) holding an invalid
+    // way wins with its lowest invalid way, else the group-wide LRU
+    // line (strict-min stamp, member-major way-minor scan order).
     SliceId target = invalidSlice;
     std::uint32_t target_way = 0;
     std::uint64_t oldest = ~std::uint64_t{0};
     for (SliceId member : group) {
+        const std::uint32_t inv = slices_[member].firstInvalidWay(set);
+        if (inv != params_.sliceGeom.assoc) {
+            target = member;
+            target_way = inv;
+            break;
+        }
         for (std::uint32_t way = 0; way < params_.sliceGeom.assoc;
              ++way) {
-            const CacheLine &line = slices_[member].lineAt(set, way);
-            if (!line.valid) {
-                target = member;
-                target_way = way;
-                oldest = 0;
-                break;
-            }
-            if (line.stamp < oldest) {
-                oldest = line.stamp;
+            const std::uint64_t stamp =
+                slices_[member].stampAt(set, way);
+            if (stamp < oldest) {
+                oldest = stamp;
                 target = member;
                 target_way = way;
             }
-        }
-        if (target != invalidSlice &&
-            !slices_[target].lineAt(set, target_way).valid) {
-            break;
         }
     }
     MC_ASSERT(target != invalidSlice);
 
     // The new line's recency equals that of the line currently at
     // LRU-stack `position` (excluding the victim), so it enters the
-    // stack exactly there instead of at MRU.
-    std::vector<std::uint64_t> stamps;
-    stamps.reserve(std::size_t{group.size()} *
-                   params_.sliceGeom.assoc);
+    // stack exactly there instead of at MRU. The gather buffer is a
+    // reserved member: this runs once per PIPP insert and must not
+    // allocate (std::sort is in-place).
+    stampScratch_.clear();
     for (SliceId member : group) {
-        for (std::uint32_t way = 0; way < params_.sliceGeom.assoc;
-             ++way) {
+        std::uint64_t m = slices_[member].validMask(set);
+        while (m != 0) {
+            const auto way =
+                static_cast<std::uint32_t>(std::countr_zero(m));
+            m &= m - 1;
             if (member == target && way == target_way)
                 continue;
-            const CacheLine &line = slices_[member].lineAt(set, way);
-            if (line.valid)
-                stamps.push_back(line.stamp);
+            stampScratch_.push_back(
+                slices_[member].stampAt(set, way));
         }
     }
-    std::sort(stamps.begin(), stamps.end());
-    const std::uint64_t stamp = position < stamps.size()
-                                    ? stamps[position]
+    std::sort(stampScratch_.begin(), stampScratch_.end());
+    const std::uint64_t stamp = position < stampScratch_.size()
+                                    ? stampScratch_[position]
                                     : nextStamp();
     return fillInto(core, target, target_way, line_addr, dirty,
                     stamp);
@@ -381,26 +379,39 @@ void
 CacheLevelModel::promoteByOne(SliceId slice, std::uint64_t set,
                               std::uint32_t way)
 {
-    CacheLine &line = slices_[slice].lineAt(set, way);
-    MC_ASSERT(line.valid);
+    MC_ASSERT(slices_[slice].validAt(set, way));
+    const std::uint64_t line_stamp = slices_[slice].stampAt(set, way);
 
     // Find the immediate upward neighbour in the group's LRU stack
     // and swap recencies with it.
     const auto &group = partition_[groupOf_[slice]];
-    CacheLine *above = nullptr;
+    SliceId above_slice = invalidSlice;
+    std::uint32_t above_way = 0;
+    std::uint64_t above_stamp = ~std::uint64_t{0};
+    bool found = false;
     for (SliceId member : group) {
-        for (std::uint32_t w = 0; w < params_.sliceGeom.assoc; ++w) {
-            CacheLine &other = slices_[member].lineAt(set, w);
-            if (!other.valid || (&other == &line))
+        std::uint64_t m = slices_[member].validMask(set);
+        while (m != 0) {
+            const auto w =
+                static_cast<std::uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            if (member == slice && w == way)
                 continue;
-            if (other.stamp <= line.stamp)
+            const std::uint64_t other = slices_[member].stampAt(set, w);
+            if (other <= line_stamp)
                 continue;
-            if (!above || other.stamp < above->stamp)
-                above = &other;
+            if (!found || other < above_stamp) {
+                found = true;
+                above_slice = member;
+                above_way = w;
+                above_stamp = other;
+            }
         }
     }
-    if (above)
-        std::swap(above->stamp, line.stamp);
+    if (found) {
+        slices_[above_slice].setStampAt(set, above_way, line_stamp);
+        slices_[slice].setStampAt(set, way, above_stamp);
+    }
 }
 
 InsertOutcome
@@ -425,13 +436,11 @@ CacheLevelModel::fillAt(CoreId core, SliceId target,
 bool
 CacheLevelModel::markDirty(CoreId core, Addr line_addr)
 {
+    // Absorb the writeback into the first member (in group order)
+    // holding the line, in one fused probe-and-mark walk per slice.
     for (SliceId member : groupSlices(core)) {
-        const auto way = slices_[member].probe(line_addr);
-        if (way) {
-            const std::uint64_t set = slices_[member].setIndex(line_addr);
-            slices_[member].lineAt(set, *way).dirty = true;
+        if (slices_[member].markDirtyIfPresent(line_addr))
             return true;
-        }
     }
     return false;
 }
@@ -573,13 +582,16 @@ CacheLevelModel::noteEviction(SliceId slice, Addr line_addr,
     // reset even if capacity churn displaces individual lines.
     if (reused)
         return;
+    // Every core's vector for this slice shares one geometry and
+    // hash family, so the footprint unit hashes to the same bit
+    // index in each — hash once, clear N bits.
+    const std::size_t base = std::size_t{slice} * params_.numSlices;
+    const std::uint32_t bit =
+        acfvs_[base].bitIndex(line_addr >> acfvGranShift_);
     for (std::uint32_t c = 0; c < params_.numSlices; ++c) {
-        acfvs_[std::size_t{slice} * params_.numSlices + c]
-            .clear(line_addr / acfvGranularity_);
-        if (params_.trackOracle) {
-            oracles_[std::size_t{slice} * params_.numSlices + c]
-                .clear(line_addr);
-        }
+        acfvs_[base + c].clearBitIndex(bit);
+        if (params_.trackOracle)
+            oracles_[base + c].clear(line_addr);
     }
 }
 

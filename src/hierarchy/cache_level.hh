@@ -415,6 +415,12 @@ class CacheLevelModel
 
     LevelParams params_;
     std::uint32_t acfvGranularity_ = 1;
+    /**
+     * exactLog2(acfvGranularity_): the granularity is asserted
+     * power-of-2 at construction, so the per-reference line-to-unit
+     * division is a shift.
+     */
+    unsigned acfvGranShift_ = 0;
     std::vector<CacheSlice> slices_;
     Partition partition_;
     std::vector<std::uint32_t> groupOf_;
@@ -431,6 +437,12 @@ class CacheLevelModel
     std::vector<std::uint32_t> groupRotor_;
     std::uint64_t stamp_ = 0;
     LevelStats stats_;
+    /**
+     * Reusable stamp-gathering buffer for insertAtStackPosition
+     * (reserved to the group-wide way count at construction so the
+     * per-insert gather never allocates).
+     */
+    std::vector<std::uint64_t> stampScratch_;
     /** Optional policy hooks (PIPP/DSR baselines); not owned. */
     LevelHooks *hooks_ = nullptr;
 };

@@ -118,6 +118,7 @@ Hierarchy::Hierarchy(const HierarchyParams &params)
       topology_(Topology::allPrivateTopology(params.numCores)),
       coreStats_(params.numCores)
 {
+    lineShift_ = exactLog2(params_.l1Geom.lineBytes);
     l1s_.reserve(params_.numCores);
     for (std::uint32_t c = 0; c < params_.numCores; ++c) {
         l1s_.emplace_back(static_cast<SliceId>(c), params_.l1Geom,
@@ -166,14 +167,14 @@ Hierarchy::enforceInclusion(const Topology &old_topology)
         CacheSlice &slice = l2_.slice(static_cast<SliceId>(s));
         for (std::uint64_t set = 0; set < geom.numSets(); ++set) {
             for (std::uint32_t way = 0; way < geom.assoc; ++way) {
-                const CacheLine &line = slice.lineAt(set, way);
-                if (!line.valid)
+                if (!slice.validAt(set, way))
                     continue;
-                if (l3_.presentInSlices(backing, line.lineAddr))
+                const Addr line_addr = slice.lineAddrAt(set, way);
+                if (l3_.presentInSlices(backing, line_addr))
                     continue;
                 const bool dirty =
                     l2_.invalidateInSlices({static_cast<SliceId>(s)},
-                                           line.lineAddr);
+                                           line_addr);
                 if (dirty)
                     ++coreStats_[s].writebacks;
             }
@@ -186,14 +187,14 @@ Hierarchy::enforceInclusion(const Topology &old_topology)
         const auto &l1_geom = params_.l1Geom;
         for (std::uint64_t set = 0; set < l1_geom.numSets(); ++set) {
             for (std::uint32_t way = 0; way < l1_geom.assoc; ++way) {
-                const CacheLine &line = l1.lineAt(set, way);
-                if (!line.valid)
+                if (!l1.validAt(set, way))
                     continue;
+                const Addr line_addr = l1.lineAddrAt(set, way);
                 if (l2_.presentInGroup(static_cast<CoreId>(c),
-                                       line.lineAddr)) {
+                                       line_addr)) {
                     continue;
                 }
-                const Eviction ev = l1.invalidate(line.lineAddr);
+                const Eviction ev = l1.invalidate(line_addr);
                 if (ev.valid && ev.dirty) {
                     if (!l3_.markDirty(static_cast<CoreId>(c),
                                        ev.lineAddr)) {
@@ -212,7 +213,7 @@ Hierarchy::access(const MemAccess &access, Cycle now)
     CoreStats &stats = coreStats_[access.core];
     ++stats.accesses;
 
-    const Addr line = params_.l1Geom.lineAddr(access.addr);
+    const Addr line = access.addr >> lineShift_;
     const bool is_write = access.type == AccessType::Write;
     AccessResult result;
     result.latency = params_.l1Latency;
@@ -223,10 +224,9 @@ Hierarchy::access(const MemAccess &access, Cycle now)
         const std::uint64_t set = l1.setIndex(line);
         l1.touch(set, *way, ++l1Stamp_);
         if (is_write) {
-            CacheLine &entry = l1.lineAt(set, *way);
-            if (!entry.dirty && params_.coherence)
+            if (!l1.dirtyAt(set, *way) && params_.coherence)
                 coherenceInvalidate(access.core, line);
-            entry.dirty = true;
+            l1.setDirtyAt(set, *way);
         }
         ++stats.l1Hits;
         result.servedBy = ServedBy::L1;
@@ -282,7 +282,7 @@ Hierarchy::access(const MemAccess &access, Cycle now)
             coherenceInvalidate(access.core, line);
         // Write-back, write-allocate: the L1 copy becomes dirty.
         if (const auto way = l1.probe(line)) {
-            l1.lineAt(l1.setIndex(line), *way).dirty = true;
+            l1.setDirtyAt(l1.setIndex(line), *way);
         }
     }
 

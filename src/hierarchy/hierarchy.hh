@@ -202,6 +202,12 @@ class Hierarchy
     void enforceInclusion(const Topology &old_topology);
 
     HierarchyParams params_;
+    /**
+     * exactLog2(l1Geom.lineBytes), cached so the per-access
+     * byte-to-line conversion is a plain shift (line sizes match
+     * across levels, validated at construction).
+     */
+    unsigned lineShift_ = 0;
     std::vector<CacheSlice> l1s_;
     CacheLevelModel l2_;
     CacheLevelModel l3_;

@@ -30,18 +30,27 @@ struct CacheGeometry
     /** Line (block) size in bytes. */
     std::uint32_t lineBytes = 64;
 
-    /** Number of lines the slice can hold. */
+    /**
+     * Number of lines the slice can hold. Every valid() geometry
+     * has a power-of-2 line size, so this is a shift; the division
+     * fallback keeps not-yet-validated configs well-defined for
+     * error reporting. (Hot paths never come through here: slices
+     * cache their set masks at construction.)
+     */
     std::uint64_t
     numLines() const
     {
-        return sizeBytes / lineBytes;
+        return isPowerOf2(lineBytes)
+                   ? sizeBytes >> floorLog2(lineBytes)
+                   : sizeBytes / lineBytes;
     }
 
-    /** Number of sets in the slice. */
+    /** Number of sets in the slice (shift when assoc is pow-2). */
     std::uint64_t
     numSets() const
     {
-        return numLines() / assoc;
+        return isPowerOf2(assoc) ? numLines() >> floorLog2(assoc)
+                                 : numLines() / assoc;
     }
 
     /** Validate: power-of-2 sets/lines and nonzero fields. */

@@ -1,45 +1,28 @@
 /**
  * @file
- * Cache line (way) state.
+ * Cache line (way) outcome types.
+ *
+ * Per-way storage itself is struct-of-arrays inside CacheSlice
+ * (flat address/stamp arrays plus packed per-set flag words); the
+ * record type that remains here is the eviction outcome handed
+ * across the slice boundary. A way carries: the full line address
+ * (block number, stored rather than a tag so lines remain
+ * unambiguous when a slice participates in differently shaped
+ * logical groups over its lifetime), a valid bit, a dirty bit, a
+ * global recency stamp (larger is more recent; doubles as the
+ * "ideal LRU timestamp" the paper mentions for merging LRU state),
+ * and a reused bit — set on the first hit after a fill, so
+ * single-use (streaming) lines end their residency with it still
+ * clear, which is what keeps them out of the active-footprint
+ * estimate (Section 2.1 defines the ACF through *reuse*).
  */
 
 #ifndef MORPHCACHE_MEM_LINE_HH
 #define MORPHCACHE_MEM_LINE_HH
 
-#include <cstdint>
-
 #include "common/types.hh"
 
 namespace morphcache {
-
-/**
- * State of one way of one set in a physical slice.
- *
- * The full line address (block number) is stored rather than a tag so
- * lines remain unambiguous when a slice participates in differently
- * shaped logical groups over its lifetime.
- */
-struct CacheLine
-{
-    /** Block number (byte address >> log2(lineBytes)). */
-    Addr lineAddr = 0;
-    /** Valid bit. */
-    bool valid = false;
-    /** Dirty (modified) bit. */
-    bool dirty = false;
-    /**
-     * Global recency stamp; larger is more recent. Doubles as the
-     * "ideal LRU timestamp" the paper mentions for merging LRU state.
-     */
-    std::uint64_t stamp = 0;
-    /**
-     * The line was hit at this level after its fill. Single-use
-     * (streaming) lines end their residency with this still clear,
-     * which is what keeps them out of the active-footprint estimate
-     * (Section 2.1 defines the ACF through *reuse*).
-     */
-    bool reused = false;
-};
 
 /** Result of filling a way: what was evicted, if anything. */
 struct Eviction

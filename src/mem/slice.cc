@@ -7,124 +7,29 @@ namespace morphcache {
 CacheSlice::CacheSlice(SliceId id, const CacheGeometry &geom,
                        ReplPolicy policy)
     : id_(id), geom_(geom), policy_(policy),
-      lines_(geom.numLines()),
+      assoc_(geom.assoc),
+      numSets_(geom.numSets()),
+      setMask_(geom.numSets() - 1),
+      waysMask_(geom.assoc >= 64 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << geom.assoc) - 1),
+      tags_(geom.numLines(), 0),
+      stamps_(geom.numLines(), 0),
+      validBits_(geom.numSets(), 0),
+      dirtyBits_(geom.numSets(), 0),
+      reusedBits_(geom.numSets(), 0),
       plru_(geom.numSets(), geom.assoc)
 {
     MC_ASSERT(geom.valid());
-}
-
-std::uint64_t
-CacheSlice::index(std::uint64_t set, std::uint32_t way) const
-{
-    MC_ASSERT(set < geom_.numSets());
-    MC_ASSERT(way < geom_.assoc);
-    return set * geom_.assoc + way;
-}
-
-std::optional<std::uint32_t>
-CacheSlice::probe(Addr line_addr) const
-{
-    const std::uint64_t set = geom_.setIndex(line_addr);
-    const std::uint64_t base = set * geom_.assoc;
-    for (std::uint32_t way = 0; way < geom_.assoc; ++way) {
-        const CacheLine &line = lines_[base + way];
-        if (line.valid && line.lineAddr == line_addr)
-            return way;
-    }
-    return std::nullopt;
-}
-
-CacheLine &
-CacheSlice::lineAt(std::uint64_t set, std::uint32_t way)
-{
-    return lines_[index(set, way)];
-}
-
-const CacheLine &
-CacheSlice::lineAt(std::uint64_t set, std::uint32_t way) const
-{
-    return lines_[index(set, way)];
-}
-
-void
-CacheSlice::touch(std::uint64_t set, std::uint32_t way,
-                  std::uint64_t stamp)
-{
-    CacheLine &line = lines_[index(set, way)];
-    MC_ASSERT(line.valid);
-    line.stamp = stamp;
-    line.reused = true;
-    if (policy_ == ReplPolicy::TreePLRU)
-        plru_.tree(set).touch(way);
-}
-
-std::uint32_t
-CacheSlice::victimWay(std::uint64_t set) const
-{
-    const std::uint64_t base = set * geom_.assoc;
-    for (std::uint32_t way = 0; way < geom_.assoc; ++way) {
-        if (!lines_[base + way].valid)
-            return way;
-    }
-    if (policy_ == ReplPolicy::TreePLRU)
-        return plru_.tree(set).victim();
-
-    std::uint32_t victim = 0;
-    std::uint64_t oldest = lines_[base].stamp;
-    for (std::uint32_t way = 1; way < geom_.assoc; ++way) {
-        if (lines_[base + way].stamp < oldest) {
-            oldest = lines_[base + way].stamp;
-            victim = way;
-        }
-    }
-    return victim;
-}
-
-Eviction
-CacheSlice::fill(std::uint64_t set, std::uint32_t way, Addr line_addr,
-                 bool dirty, std::uint64_t stamp)
-{
-    CacheLine &line = lines_[index(set, way)];
-    Eviction evicted;
-    if (line.valid) {
-        evicted.valid = true;
-        evicted.lineAddr = line.lineAddr;
-        evicted.dirty = line.dirty;
-        evicted.reused = line.reused;
-    }
-    line.lineAddr = line_addr;
-    line.valid = true;
-    line.dirty = dirty;
-    line.stamp = stamp;
-    line.reused = false;
-    if (policy_ == ReplPolicy::TreePLRU)
-        plru_.tree(set).touch(way);
-    return evicted;
-}
-
-Eviction
-CacheSlice::invalidate(Addr line_addr)
-{
-    Eviction evicted;
-    const auto way = probe(line_addr);
-    if (!way)
-        return evicted;
-    CacheLine &line = lines_[index(geom_.setIndex(line_addr), *way)];
-    evicted.valid = true;
-    evicted.lineAddr = line.lineAddr;
-    evicted.dirty = line.dirty;
-    evicted.reused = line.reused;
-    line.valid = false;
-    line.dirty = false;
-    return evicted;
+    // The per-set flag words cap associativity at one machine word.
+    MC_ASSERT(geom.assoc <= 64);
 }
 
 void
 CacheSlice::invalidateAll()
 {
-    for (CacheLine &line : lines_) {
-        line.valid = false;
-        line.dirty = false;
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        validBits_[set] = 0;
+        dirtyBits_[set] = 0;
     }
 }
 
@@ -132,9 +37,57 @@ std::uint64_t
 CacheSlice::validLineCount() const
 {
     std::uint64_t count = 0;
-    for (const CacheLine &line : lines_)
-        count += line.valid ? 1 : 0;
+    for (std::uint64_t set = 0; set < numSets_; ++set)
+        count += static_cast<std::uint64_t>(
+            std::popcount(validBits_[set]));
     return count;
+}
+
+void
+CacheSlice::saveState(CkptWriter &w) const
+{
+    w.u64(tags_.size());
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        for (std::uint32_t way = 0; way < assoc_; ++way) {
+            w.u64(tags_[set * assoc_ + way]);
+            w.u8(static_cast<std::uint8_t>(
+                (validAt(set, way) ? 1u : 0u) |
+                (dirtyAt(set, way) ? 2u : 0u) |
+                (reusedAt(set, way) ? 4u : 0u)));
+            w.u64(stamps_[set * assoc_ + way]);
+        }
+    }
+    plru_.saveState(w);
+}
+
+void
+CacheSlice::loadState(CkptReader &r)
+{
+    r.expectU64("slice line count", tags_.size());
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        for (std::uint32_t way = 0; way < assoc_; ++way) {
+            const std::uint64_t bit = std::uint64_t{1} << way;
+            tags_[set * assoc_ + way] = r.u64();
+            const std::uint8_t flags = r.u8();
+            if (flags > 7)
+                r.fail("cache-line flags byte is " +
+                       std::to_string(flags) + ", expected <= 7");
+            if (flags & 1)
+                validBits_[set] |= bit;
+            else
+                validBits_[set] &= ~bit;
+            if (flags & 2)
+                dirtyBits_[set] |= bit;
+            else
+                dirtyBits_[set] &= ~bit;
+            if (flags & 4)
+                reusedBits_[set] |= bit;
+            else
+                reusedBits_[set] &= ~bit;
+            stamps_[set * assoc_ + way] = r.u64();
+        }
+    }
+    plru_.loadState(r);
 }
 
 } // namespace morphcache

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "stats/profiler.hh"
+
 namespace morphcache {
 
 namespace {
@@ -41,6 +43,18 @@ void
 setEnabled(bool on)
 {
     meterEnabled.store(on, std::memory_order_relaxed);
+    // Plug the meter into the phase profiler the first time metering
+    // turns on (idempotent; avoids static-initialization ordering).
+    // From then on every ScopedPhaseTimer interval attributes the
+    // heap traffic it observed to its phase, which is what lets the
+    // bench assert "the reference-processing loop allocated nothing"
+    // rather than inferring it from whole-trial totals.
+    if (on) {
+        Profiler::global().setAllocProbe(+[]() {
+            const AllocSnapshot s = snapshot();
+            return ProfAllocSample{s.bytes, s.calls, s.frees};
+        });
+    }
 }
 
 void

@@ -112,7 +112,12 @@ runBenchCell(const BenchCell &cell, const BenchOptions &opts)
             while (perfNowNs() < until) {
             }
         }
-        sim.run();
+        // The bare epoch loop, not run(): finish()'s RunResult
+        // aggregation would allocate inside the metered window and
+        // free outside it, leaving a phantom alloc/free imbalance in
+        // every trial's delta. The loop itself is the measurement.
+        while (!sim.done())
+            sim.stepEpoch();
         const std::uint64_t t1 = perfNowNs();
 
         const AllocSnapshot alloc1 = AllocMeter::snapshot();
@@ -127,6 +132,12 @@ runBenchCell(const BenchCell &cell, const BenchOptions &opts)
                  ++i) {
                 result.prof.phases[i].ns += dprof.phases[i].ns;
                 result.prof.phases[i].calls += dprof.phases[i].calls;
+                result.prof.phases[i].allocBytes +=
+                    dprof.phases[i].allocBytes;
+                result.prof.phases[i].allocCalls +=
+                    dprof.phases[i].allocCalls;
+                result.prof.phases[i].allocFrees +=
+                    dprof.phases[i].allocFrees;
             }
             const AllocSnapshot dalloc = allocDelta(alloc0, alloc1);
             result.alloc.bytes += dalloc.bytes;
@@ -240,6 +251,12 @@ renderBenchJson(const std::string &suite, const BenchOptions &opts,
             appendU64(out, r.prof.phases[p].ns);
             out += ",\"calls\":";
             appendU64(out, r.prof.phases[p].calls);
+            out += ",\"allocBytes\":";
+            appendU64(out, r.prof.phases[p].allocBytes);
+            out += ",\"allocCalls\":";
+            appendU64(out, r.prof.phases[p].allocCalls);
+            out += ",\"allocFrees\":";
+            appendU64(out, r.prof.phases[p].allocFrees);
             out += "}";
         }
         out += "}";
@@ -261,7 +278,7 @@ renderBenchTable(const std::vector<BenchCellResult> &results)
 {
     std::string out =
         "cell                               Mrefs/s     +-MAD  "
-        "refProc%  kB/trial  allocs/trial\n";
+        "refProc%  kB/trial  allocs/trial  loopAllocs\n";
     char buf[200];
     for (const BenchCellResult &r : results) {
         const std::size_t trials =
@@ -278,13 +295,15 @@ renderBenchTable(const std::vector<BenchCellResult> &results)
                 : 0.0;
         std::snprintf(
             buf, sizeof(buf),
-            "%-32s %9.3f %9.3f %9.1f %9.1f %13.1f\n",
+            "%-32s %9.3f %9.3f %9.1f %9.1f %13.1f %11llu\n",
             r.cell.id().c_str(), r.refsPerSec.median / 1e6,
             r.refsPerSec.mad / 1e6, ref_pct,
             static_cast<double>(r.alloc.bytes) /
                 (1024.0 * static_cast<double>(trials)),
             static_cast<double>(r.alloc.calls) /
-                static_cast<double>(trials));
+                static_cast<double>(trials),
+            static_cast<unsigned long long>(
+                r.prof[ProfPhase::RefProcessing].allocCalls));
         out += buf;
     }
     return out;

@@ -36,8 +36,19 @@
 
 namespace morphcache {
 
-/** Current BENCH_*.json schema version. */
-constexpr int benchSchemaVersion = 1;
+/**
+ * Current BENCH_*.json schema version.
+ *
+ * Schema 2 (additive over 1): each entry of a cell's `phases` map
+ * carries `allocBytes`/`allocCalls`/`allocFrees` — heap traffic
+ * attributed to that phase across the recorded trials (the
+ * profiler's alloc-probe deltas). `phases.refProcessing.allocCalls`
+ * is the steady-state gate: the reference-processing inner loop is
+ * contractually allocation-free, and tools/ci_bench_smoke.sh fails
+ * if it ever reads nonzero. Cell-level allocBytes/allocCalls/
+ * allocFrees keep their schema-1 meaning (whole simulation loop).
+ */
+constexpr int benchSchemaVersion = 2;
 
 /** One pinned benchmark cell. */
 struct BenchCell

@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -23,18 +24,45 @@ Simulation::Simulation(MemorySystem &system, Workload &workload,
     }
     if (params_.refsPerEpochPerCore == 0)
         throw ConfigError("epoch length must be nonzero references");
+
+    // Pre-size everything an epoch touches so the steady-state run
+    // loop never allocates: recorded slots, per-epoch baselines,
+    // the warmup metrics sink, and (capacity only — the serialized
+    // empty-until-warmup-done size semantics stay) the baselines.
+    const std::uint32_t cores = workload.numCores();
+    recorded_.resize(params_.epochs);
+    for (EpochMetrics &slot : recorded_) {
+        slot.ipc.resize(cores);
+        slot.misses.resize(cores);
+    }
+    warmupScratch_.ipc.resize(cores);
+    warmupScratch_.misses.resize(cores);
+    epochCycles0_.resize(cores);
+    epochInstrs0_.resize(cores);
+    epochMisses0_.resize(cores);
+    baselineCycles_.reserve(cores);
+    baselineInstrs_.reserve(cores);
 }
 
 EpochMetrics
 Simulation::runEpoch(EpochId epoch)
 {
+    EpochMetrics metrics;
+    runEpochInto(epoch, metrics);
+    return metrics;
+}
+
+void
+Simulation::runEpochInto(EpochId epoch, EpochMetrics &metrics)
+{
     const std::uint32_t cores = workload_.numCores();
 
-    std::vector<double> cycles_start = cycles_;
-    std::vector<double> instr_start = instrs_;
-    std::vector<std::uint64_t> misses_start(cores, 0);
+    std::copy(cycles_.begin(), cycles_.end(),
+              epochCycles0_.begin());
+    std::copy(instrs_.begin(), instrs_.end(),
+              epochInstrs0_.begin());
     for (std::uint32_t c = 0; c < cores; ++c) {
-        misses_start[c] =
+        epochMisses0_[c] =
             system_.coreStats(static_cast<CoreId>(c)).misses();
     }
 
@@ -61,16 +89,15 @@ Simulation::runEpoch(EpochId epoch)
         system_.epochBoundary();
     }
 
-    EpochMetrics metrics;
     metrics.ipc.resize(cores);
     metrics.misses.resize(cores);
     for (std::uint32_t c = 0; c < cores; ++c) {
-        const double dcycles = cycles_[c] - cycles_start[c];
-        const double dinstr = instrs_[c] - instr_start[c];
+        const double dcycles = cycles_[c] - epochCycles0_[c];
+        const double dinstr = instrs_[c] - epochInstrs0_[c];
         metrics.ipc[c] = dcycles > 0.0 ? dinstr / dcycles : 0.0;
         metrics.misses[c] =
             system_.coreStats(static_cast<CoreId>(c)).misses() -
-            misses_start[c];
+            epochMisses0_[c];
     }
     metrics.throughput = throughput(metrics.ipc);
 
@@ -84,7 +111,6 @@ Simulation::runEpoch(EpochId epoch)
             .u64("refsPerCore", params_.refsPerEpochPerCore);
         tracer_->emit(ev);
     }
-    return metrics;
 }
 
 void
@@ -108,7 +134,7 @@ Simulation::stepEpoch()
     if (done())
         return;
     if (!warmupDone_ && nextEpoch_ < params_.warmupEpochs) {
-        runEpoch(nextEpoch_++);
+        runEpochInto(nextEpoch_++, warmupScratch_);
         if (nextEpoch_ == params_.warmupEpochs)
             markWarmupDone();
         return;
@@ -116,7 +142,8 @@ Simulation::stepEpoch()
     if (!warmupDone_)
         markWarmupDone();
     const EpochId id = nextEpoch_++;
-    recorded_.push_back(runEpoch(id));
+    runEpochInto(id, recorded_[recordedCount_]);
+    ++recordedCount_;
     if (registry_)
         registry_->snapshotEpoch(id);
 }
@@ -125,7 +152,7 @@ bool
 Simulation::done() const
 {
     return nextEpoch_ >= params_.warmupEpochs &&
-           recorded_.size() >= params_.epochs;
+           recordedCount_ >= params_.epochs;
 }
 
 RunResult
@@ -133,7 +160,10 @@ Simulation::finish() const
 {
     const std::uint32_t cores = workload_.numCores();
     RunResult result;
-    result.epochs = recorded_;
+    result.epochs.assign(recorded_.begin(),
+                         recorded_.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 recordedCount_));
 
     // With zero recorded epochs the baselines were never captured;
     // the current clocks give the same all-zero deltas.
@@ -175,8 +205,11 @@ Simulation::saveState(CkptWriter &w) const
     w.b(warmupDone_);
     w.f64Vec(baselineCycles_);
     w.f64Vec(baselineInstrs_);
-    w.u64(recorded_.size());
-    for (const EpochMetrics &metrics : recorded_) {
+    // Only the filled prefix: the byte stream matches the old
+    // grow-on-push layout exactly (count, then count records).
+    w.u64(recordedCount_);
+    for (std::uint64_t e = 0; e < recordedCount_; ++e) {
+        const EpochMetrics &metrics = recorded_[e];
         w.f64Vec(metrics.ipc);
         w.f64(metrics.throughput);
         w.u64Vec(metrics.misses);
@@ -207,18 +240,16 @@ Simulation::loadState(CkptReader &r)
         r.fail("checkpoint records " + std::to_string(count) +
                " epochs but the run only has " +
                std::to_string(params_.epochs));
-    recorded_.clear();
-    recorded_.reserve(count);
     for (std::uint64_t e = 0; e < count; ++e) {
-        EpochMetrics metrics;
+        EpochMetrics &metrics = recorded_[e];
         metrics.ipc = r.f64Vec();
         metrics.throughput = r.f64();
         metrics.misses = r.u64Vec();
         if (metrics.ipc.size() != cores ||
             metrics.misses.size() != cores)
             r.fail("recorded epoch metric size mismatch");
-        recorded_.push_back(std::move(metrics));
     }
+    recordedCount_ = count;
 }
 
 } // namespace morphcache

@@ -92,7 +92,7 @@ class Simulation
     RunResult finish() const;
 
     /** Recorded epochs completed so far. */
-    std::uint64_t recordedEpochs() const { return recorded_.size(); }
+    std::uint64_t recordedEpochs() const { return recordedCount_; }
 
     /** Id the next epoch (warmup or recorded) will get. */
     EpochId nextEpoch() const { return nextEpoch_; }
@@ -132,6 +132,14 @@ class Simulation
     /** Stamp warmup complete and capture the metric baselines. */
     void markWarmupDone();
 
+    /**
+     * runEpoch() into caller-provided storage. `metrics` arrives
+     * with its per-core vectors already sized (the ctor pre-sizes
+     * every slot of recorded_ and the warmup scratch), so one epoch
+     * touches the heap zero times in steady state.
+     */
+    void runEpochInto(EpochId epoch, EpochMetrics &metrics);
+
     MemorySystem &system_;
     Workload &workload_;
     SimParams params_;
@@ -146,8 +154,22 @@ class Simulation
     std::vector<double> baselineCycles_;
     /** Retired instructions at the end of warmup. */
     std::vector<double> baselineInstrs_;
-    /** Metrics of the recorded epochs run so far. */
+    /**
+     * Metrics of the recorded epochs: sized to params_.epochs at
+     * construction with every slot's vectors pre-sized, filled in
+     * place through the recordedCount_ cursor. Serialization writes
+     * only the first recordedCount_ slots, so the checkpoint byte
+     * stream is identical to the old grow-on-push encoding.
+     */
     std::vector<EpochMetrics> recorded_;
+    /** Recorded epochs completed (valid prefix of recorded_). */
+    std::uint64_t recordedCount_ = 0;
+    /** Per-epoch start-of-epoch baselines (reused scratch). */
+    std::vector<double> epochCycles0_;
+    std::vector<double> epochInstrs0_;
+    std::vector<std::uint64_t> epochMisses0_;
+    /** Metrics sink for warmup epochs (measured, discarded). */
+    EpochMetrics warmupScratch_;
     /** Decision-provenance tracer (not owned; null = disabled). */
     Tracer *tracer_ = nullptr;
     /** Per-epoch snapshot target (not owned; null = disabled). */

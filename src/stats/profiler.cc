@@ -35,6 +35,9 @@ profDelta(const ProfSnapshot &a, const ProfSnapshot &b)
         const auto phase = static_cast<ProfPhase>(i);
         d[phase].ns = b[phase].ns - a[phase].ns;
         d[phase].calls = b[phase].calls - a[phase].calls;
+        d[phase].allocBytes = b[phase].allocBytes - a[phase].allocBytes;
+        d[phase].allocCalls = b[phase].allocCalls - a[phase].allocCalls;
+        d[phase].allocFrees = b[phase].allocFrees - a[phase].allocFrees;
     }
     return d;
 }
@@ -47,6 +50,12 @@ Profiler::snapshot() const
         const auto phase = static_cast<ProfPhase>(i);
         s[phase].ns = ns_[i].load(std::memory_order_relaxed);
         s[phase].calls = calls_[i].load(std::memory_order_relaxed);
+        s[phase].allocBytes =
+            allocBytes_[i].load(std::memory_order_relaxed);
+        s[phase].allocCalls =
+            allocCalls_[i].load(std::memory_order_relaxed);
+        s[phase].allocFrees =
+            allocFrees_[i].load(std::memory_order_relaxed);
     }
     return s;
 }
@@ -57,6 +66,9 @@ Profiler::reset()
     for (std::size_t i = 0; i < numPhases; ++i) {
         ns_[i] = 0;
         calls_[i] = 0;
+        allocBytes_[i] = 0;
+        allocCalls_[i] = 0;
+        allocFrees_[i] = 0;
     }
 }
 

@@ -45,6 +45,27 @@ enum class ProfPhase : std::uint8_t {
 const char *profPhaseName(ProfPhase phase);
 
 /**
+ * One reading of a process-wide allocation tally, as delivered by a
+ * ProfAllocProbe. Mirrors perf/allocmeter.hh's AllocSnapshot without
+ * depending on it: the stats library sits below the perf library in
+ * the link graph, so the meter *registers* a probe rather than being
+ * called by name.
+ */
+struct ProfAllocSample
+{
+    std::uint64_t bytes = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t frees = 0;
+};
+
+/**
+ * Monotonic allocation-tally reader a metering layer can plug into
+ * the profiler (see AllocMeter::setEnabled). Plain function pointer:
+ * installing one must not itself allocate.
+ */
+using ProfAllocProbe = ProfAllocSample (*)();
+
+/**
  * Point-in-time copy of every phase's accumulators. This is the
  * stable machine-readable export: harnesses (tools/mc_bench) take a
  * snapshot before and after a measured region and report the delta.
@@ -58,6 +79,18 @@ struct ProfSnapshot
     {
         std::uint64_t ns = 0;
         std::uint64_t calls = 0;
+        /**
+         * Heap traffic attributed to this phase (operator new
+         * bytes/calls and operator delete calls observed while one
+         * of its timed intervals was open). Zero unless both the
+         * profiler and an installed alloc probe's meter are enabled.
+         * Attribution is *inclusive*: an interval nested inside
+         * another phase (ReconfigApply inside EpochDecision) counts
+         * its traffic in both.
+         */
+        std::uint64_t allocBytes = 0;
+        std::uint64_t allocCalls = 0;
+        std::uint64_t allocFrees = 0;
     };
 
     PhaseTotals phases[static_cast<std::size_t>(
@@ -127,6 +160,36 @@ class Profiler
     }
 
     /**
+     * Install (or clear, with nullptr) the allocation probe the
+     * scoped timers sample around each interval. The probe must be
+     * callable from any thread and must not allocate.
+     */
+    void
+    setAllocProbe(ProfAllocProbe probe)
+    {
+        allocProbe_.store(probe, std::memory_order_relaxed);
+    }
+
+    ProfAllocProbe
+    allocProbe() const
+    {
+        return allocProbe_.load(std::memory_order_relaxed);
+    }
+
+    /** Fold one interval's allocation delta into a phase. */
+    void
+    addAlloc(ProfPhase phase, const ProfAllocSample &delta)
+    {
+        const auto i = static_cast<std::size_t>(phase);
+        allocBytes_[i].fetch_add(delta.bytes,
+                                 std::memory_order_relaxed);
+        allocCalls_[i].fetch_add(delta.calls,
+                                 std::memory_order_relaxed);
+        allocFrees_[i].fetch_add(delta.frees,
+                                 std::memory_order_relaxed);
+    }
+
+    /**
      * Consistent-enough copy of all accumulators (each counter is
      * read atomically; pairs may skew by an in-flight add, which a
      * report-time reader cannot observe anyway).
@@ -149,6 +212,11 @@ class Profiler
     std::atomic<bool> enabled_{false};
     std::atomic<std::uint64_t> ns_[numPhases] = {};
     std::atomic<std::uint64_t> calls_[numPhases] = {};
+    std::atomic<std::uint64_t> allocBytes_[numPhases] = {};
+    std::atomic<std::uint64_t> allocCalls_[numPhases] = {};
+    std::atomic<std::uint64_t> allocFrees_[numPhases] = {};
+    /** Allocation-tally reader (null until a meter installs one). */
+    std::atomic<ProfAllocProbe> allocProbe_{nullptr};
 };
 
 /**
@@ -163,20 +231,33 @@ class ScopedPhaseTimer
     explicit ScopedPhaseTimer(ProfPhase phase)
         : phase_(phase), active_(Profiler::global().enabled())
     {
-        if (active_)
+        if (active_) {
             start_ = std::chrono::steady_clock::now();
+            probe_ = Profiler::global().allocProbe();
+            if (probe_)
+                alloc0_ = probe_();
+        }
     }
 
     ~ScopedPhaseTimer()
     {
         if (active_) {
             const auto end = std::chrono::steady_clock::now();
-            Profiler::global().add(
+            Profiler &prof = Profiler::global();
+            prof.add(
                 phase_,
                 static_cast<std::uint64_t>(
                     std::chrono::duration_cast<
                         std::chrono::nanoseconds>(end - start_)
                         .count()));
+            if (probe_) {
+                const ProfAllocSample now = probe_();
+                prof.addAlloc(phase_,
+                              ProfAllocSample{
+                                  now.bytes - alloc0_.bytes,
+                                  now.calls - alloc0_.calls,
+                                  now.frees - alloc0_.frees});
+            }
         }
     }
 
@@ -187,6 +268,9 @@ class ScopedPhaseTimer
     ProfPhase phase_;
     bool active_;
     std::chrono::steady_clock::time_point start_;
+    /** Alloc probe captured at construction (null = no metering). */
+    ProfAllocProbe probe_ = nullptr;
+    ProfAllocSample alloc0_;
 };
 
 } // namespace morphcache

@@ -203,11 +203,15 @@ CoreRefGenerator::drawLine()
     if (shared_.fraction > 0.0 && rng_.chance(shared_.fraction)) {
         lastShared_ = true;
         const Addr line = shared_.mid.lineAt(sharedMidPos_);
-        sharedMidPos_ = (sharedMidPos_ + 1) % shared_.mid.lines();
+        // Branchy wrap instead of a modulo: the cursor is always
+        // below lines(), so both compute the same successor.
+        if (++sharedMidPos_ >= shared_.mid.lines())
+            sharedMidPos_ = 0;
         return line;
     }
     const Addr line = mid_.lineAt(midPos_);
-    midPos_ = (midPos_ + 1) % mid_.lines();
+    if (++midPos_ >= mid_.lines())
+        midPos_ = 0;
     return line;
 }
 
@@ -225,8 +229,10 @@ CoreRefGenerator::next()
         shared = lastShared_;
         ring_[ringNext_] = line;
         ringShared_[ringNext_] = shared;
-        ringNext_ = static_cast<std::uint32_t>((ringNext_ + 1) %
-                                               ring_.size());
+        // Same successor as (ringNext_ + 1) % size without the
+        // divide; the cursor is always below the ring size.
+        if (++ringNext_ >= ring_.size())
+            ringNext_ = 0;
     }
     MemAccess access;
     access.core = core_;

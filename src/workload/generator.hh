@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/rng.hh"
 #include "common/serial.hh"
 #include "common/types.hh"
@@ -157,14 +158,35 @@ struct WorkingSet
     Addr
     lineAt(std::uint64_t pos) const
     {
-        const std::uint64_t chunk = pos / chunkLines;
+        // Millions of calls per epoch against divisors that change
+        // only at epoch boundaries: divide through cached
+        // reciprocals, re-primed lazily whenever the geometry
+        // fields were reassigned (copy, deserialize, re-layout).
+        // The quotients are exactly those of the plain / and %
+        // below, so which path runs never affects the stream.
+        std::uint64_t chunk, within;
+        if (chunkDiv_.divisor() != chunkLines)
+            chunkDiv_.prime(chunkLines);
+        if (chunkDiv_.fits(pos)) {
+            chunk = chunkDiv_.quotient(pos);
+            within = pos - chunk * chunkLines;
+        } else {
+            chunk = pos / chunkLines;
+            within = pos % chunkLines;
+        }
         // Scatter each chunk within its granule: with a common
         // offset, chunks at a sets-multiple stride would all map
         // to the same cache sets and conflict pathologically.
         const std::uint64_t room = stride - chunkLines + 1;
+        const std::uint64_t hash =
+            chunk * 0x9e3779b97f4a7c15ULL >> 32;
+        if (roomDiv_.divisor() != room)
+            roomDiv_.prime(room);
         const std::uint64_t offset =
-            (chunk * 0x9e3779b97f4a7c15ULL >> 32) % room;
-        return base + chunk * stride + offset + (pos % chunkLines);
+            roomDiv_.fits(hash)
+                ? hash - roomDiv_.quotient(hash) * room
+                : hash % room;
+        return base + chunk * stride + offset + within;
     }
 
     /** Address-space span in lines. */
@@ -173,6 +195,16 @@ struct WorkingSet
     {
         return chunkCount * stride;
     }
+
+  private:
+    /**
+     * Cached reciprocals for lineAt (not part of the set's value:
+     * excluded from serialization and comparison, rebuilt on
+     * demand). Mutable because priming is a pure cache fill on a
+     * logically-const query path.
+     */
+    mutable FastU32Div chunkDiv_;
+    mutable FastU32Div roomDiv_;
 };
 
 /** Shared-region placement for one multithreaded application. */

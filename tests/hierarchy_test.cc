@@ -184,10 +184,10 @@ TEST(Hierarchy, L3SplitEnforcesL2Inclusion)
     const auto &geom = h.params().l2.sliceGeom;
     for (std::uint64_t set = 0; set < geom.numSets(); ++set) {
         for (std::uint32_t way = 0; way < geom.assoc; ++way) {
-            const CacheLine &line = h.l2().slice(0).lineAt(set, way);
-            if (!line.valid)
+            if (!h.l2().slice(0).validAt(set, way))
                 continue;
-            EXPECT_TRUE(h.l3().presentInSlices({0}, line.lineAddr));
+            EXPECT_TRUE(h.l3().presentInSlices(
+                {0}, h.l2().slice(0).lineAddrAt(set, way)));
         }
     }
 }

@@ -20,6 +20,7 @@
 #include "perf/benchstat.hh"
 #include "perf/clock.hh"
 #include "runner/manifest.hh"
+#include "runner/run_factory.hh"
 #include "runner/sim_sweep.hh"
 #include "sim/config.hh"
 #include "stats/profiler.hh"
@@ -187,6 +188,46 @@ TEST(AllocMeter, MeteringChangesNoSimulatedByte)
     EXPECT_EQ(off.finalTopology, on.finalTopology);
 }
 
+TEST(AllocMeter, RefProcessingIsAllocationFreeForAllSchemes)
+{
+    // The steady-state gate behind BENCH schema 2: the per-access
+    // inner loop is contractually allocation-free for every scheme
+    // — all per-epoch storage is pre-sized at construction. Any
+    // alloc (or free) attributed to the RefProcessing phase is a
+    // regression, from the very first epoch onward.
+    const bool meter_was = AllocMeter::enabled();
+    const bool prof_was = Profiler::global().enabled();
+
+    for (const char *scheme :
+         {"morph", "static:2:2:1", "ucp", "pipp", "dsr"}) {
+        RunSpec spec;
+        spec.scheme = scheme;
+        spec.workload = "mix:3";
+        spec.cores = 4;
+        spec.epochs = 3;
+        spec.refs = 1500;
+        spec.seed = 42;
+        BuiltRun built = buildRun(spec);
+        Simulation sim(*built.system, *built.workload, built.sim);
+
+        Profiler::global().setEnabled(true);
+        AllocMeter::setEnabled(true);
+        const ProfSnapshot p0 = Profiler::global().snapshot();
+        while (!sim.done())
+            sim.stepEpoch();
+        const ProfSnapshot p1 = Profiler::global().snapshot();
+        AllocMeter::setEnabled(meter_was);
+        Profiler::global().setEnabled(prof_was);
+
+        const ProfSnapshot d = profDelta(p0, p1);
+        EXPECT_GT(d[ProfPhase::RefProcessing].calls, 0u) << scheme;
+        EXPECT_EQ(d[ProfPhase::RefProcessing].allocCalls, 0u)
+            << scheme;
+        EXPECT_EQ(d[ProfPhase::RefProcessing].allocFrees, 0u)
+            << scheme;
+    }
+}
+
 // ---------------------------------------------------------------
 // Profiler snapshot
 // ---------------------------------------------------------------
@@ -265,6 +306,9 @@ TEST(BenchJson, RoundTripsThroughJsonFieldHelpers)
     r.refsPerSec = summarizeTrials(r.samples);
     r.prof[ProfPhase::RefProcessing].ns = 777;
     r.prof[ProfPhase::RefProcessing].calls = 3;
+    r.prof[ProfPhase::EpochDecision].allocBytes = 512;
+    r.prof[ProfPhase::EpochDecision].allocCalls = 2;
+    r.prof[ProfPhase::EpochDecision].allocFrees = 2;
     r.alloc.bytes = 4096;
     r.alloc.calls = 17;
     r.alloc.frees = 16;
@@ -293,8 +337,19 @@ TEST(BenchJson, RoundTripsThroughJsonFieldHelpers)
     std::uint64_t u = 0;
     ASSERT_TRUE(jsonFieldU64(doc, "refsPerTrial", u));
     EXPECT_EQ(u, 384000u);
+    // Schema 2: every phase entry carries its own alloc fields, so
+    // the first "allocBytes" in the document belongs to the first
+    // phase (refProcessing — contractually allocation-free here).
     ASSERT_TRUE(jsonFieldU64(doc, "allocBytes", u));
-    EXPECT_EQ(u, 4096u);
+    EXPECT_EQ(u, 0u);
+    // The phase attribution and the cell-level loop totals are both
+    // present verbatim.
+    EXPECT_NE(doc.find("\"allocBytes\":512,\"allocCalls\":2,"
+                       "\"allocFrees\":2"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"allocBytes\":4096,\"allocCalls\":17,"
+                       "\"allocFrees\":16"),
+              std::string::npos);
     double f = 0.0;
     // %.17g doubles re-parse bit-exactly.
     ASSERT_TRUE(jsonFieldF64(doc, "medianRefsPerSec", f));

@@ -36,10 +36,10 @@ checkInclusion(Hierarchy &h)
         const auto &geom = params.l1Geom;
         for (std::uint64_t set = 0; set < geom.numSets(); ++set) {
             for (std::uint32_t way = 0; way < geom.assoc; ++way) {
-                const CacheLine &line = h.l1(c).lineAt(set, way);
-                if (!line.valid)
+                if (!h.l1(c).validAt(set, way))
                     continue;
-                ASSERT_TRUE(h.l2().presentInGroup(c, line.lineAddr))
+                const Addr line = h.l1(c).lineAddrAt(set, way);
+                ASSERT_TRUE(h.l2().presentInGroup(c, line))
                     << "L1 line not in L2 group (core " << c << ")";
             }
         }
@@ -51,13 +51,12 @@ checkInclusion(Hierarchy &h)
         const auto &backing = h.topology().l3[l3_group[s]];
         for (std::uint64_t set = 0; set < geom.numSets(); ++set) {
             for (std::uint32_t way = 0; way < geom.assoc; ++way) {
-                const CacheLine &line =
-                    h.l2().slice(static_cast<SliceId>(s))
-                        .lineAt(set, way);
-                if (!line.valid)
+                const CacheSlice &slice =
+                    h.l2().slice(static_cast<SliceId>(s));
+                if (!slice.validAt(set, way))
                     continue;
-                ASSERT_TRUE(
-                    h.l3().presentInSlices(backing, line.lineAddr))
+                ASSERT_TRUE(h.l3().presentInSlices(
+                    backing, slice.lineAddrAt(set, way)))
                     << "L2 line not backed by its L3 group (slice "
                     << s << ")";
             }

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Bench-smoke CI leg: prove the perf-observability harness itself
-# works, not that CI hardware is fast. Four gates:
+# works, not that CI hardware is fast. Five gates:
 #
-#   1. mc_bench --suite smoke emits a valid schema-1 BENCH document.
+#   1. mc_bench --suite smoke emits a valid schema-2 BENCH document,
+#      and every cell's refProcessing phase reports ZERO allocation
+#      calls — the steady-state gate: the reference-processing inner
+#      loop is contractually allocation-free for every scheme.
 #   2. mc_benchdiff of that document against itself exits 0.
 #   3. mc_benchdiff against a synthetically slowed re-run (the
 #      --slowdown-us busy-wait knob) exits nonzero — the regression
@@ -12,6 +15,10 @@
 #      default-suite cells. Absolute throughput is machine-dependent,
 #      so this diff uses a deliberately generous threshold and only
 #      catches catastrophic (>95%) collapses or id/schema drift.
+#   5. The committed trajectory itself improved: the newest
+#      BENCH_*.json beats the previous one by the --min-speedup
+#      floor on every shared cell (both files were measured on the
+#      same author machine, so a real ratio gate is meaningful).
 #
 # Run from the repo root: tools/ci_bench_smoke.sh [build-dir]
 set -eu
@@ -36,7 +43,7 @@ echo "== bench smoke: schema sanity =="
 python3 - "$out/now.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == 1, doc["schema"]
+assert doc["schema"] == 2, doc["schema"]
 assert doc["tool"] == "mc_bench"
 assert doc["suite"] == "smoke"
 for key in ("gitSha", "compiler", "buildType"):
@@ -47,8 +54,13 @@ for cell in doc["cells"]:
     assert cell["medianRefsPerSec"] > 0, cell["id"]
     assert len(cell["samples"]) == 3, cell["id"]
     assert cell["allocCalls"] >= 0
-    assert "refProcessing" in cell["phases"], cell["id"]
-print("schema OK:", len(doc["cells"]), "cells")
+    ref = cell["phases"]["refProcessing"]
+    # The steady-state gate: the per-access inner loop must be
+    # allocation-free for every scheme in the suite.
+    assert ref["allocCalls"] == 0, (cell["id"], ref)
+    assert ref["allocFrees"] == 0, (cell["id"], ref)
+print("schema OK:", len(doc["cells"]), "cells,",
+      "refProcessing allocation-free")
 EOF
 
 echo "== bench smoke: self-diff must pass =="
@@ -75,6 +87,21 @@ if [ -n "$baseline" ]; then
 else
     echo "NOTICE: no committed BENCH_*.json found; skipping" \
          "trajectory diff"
+fi
+
+previous="$(ls BENCH_*.json 2>/dev/null | sort | tail -2 | head -1 \
+            || true)"
+if [ -n "$previous" ] && [ "$previous" != "$baseline" ]; then
+    echo "== bench smoke: trajectory $previous -> $baseline =="
+    # Both committed files came from the same author machine, so a
+    # genuine speedup floor holds: the refs/sec war must advance.
+    # 1.2x is deliberately below the measured per-cell speedups of
+    # the newest PR — it catches a regressed re-measure, not noise.
+    python3 tools/mc_benchdiff.py --min-speedup 1.2 \
+        "$previous" "$baseline"
+else
+    echo "NOTICE: fewer than two committed BENCH_*.json files;" \
+         "skipping trajectory-improvement gate"
 fi
 
 echo "bench smoke: all checks passed"

@@ -3,15 +3,25 @@
 
 Usage:
     tools/mc_benchdiff.py BASELINE.json CURRENT.json [--threshold PCT]
+    tools/mc_benchdiff.py BASELINE.json CURRENT.json --min-speedup R
 
 Matches cells of the two files by their stable id
-("morph/mix:8/c8/e6/r6000/s42"), prints a per-cell delta table, and
-exits nonzero when any matched cell's median refs/sec dropped by more
-than --threshold percent (default 10).
+("morph/mix:8/c8/e6/r6000/s42") and prints a per-cell delta table.
+Two gate modes:
+
+  --threshold PCT (default mode): exit nonzero when any matched
+      cell's median refs/sec dropped by more than PCT percent
+      (default 10) — the "did this PR regress the bench" gate.
+
+  --min-speedup RATIO: exit nonzero when any matched cell's
+      current/baseline median ratio is below RATIO — the
+      "did this PR actually get faster" trajectory gate
+      (e.g. --min-speedup 1.2 demands every cell improved >= 1.2x
+      over the committed previous-PR baseline).
 
 Exit codes:
-    0  no regression beyond the threshold
-    1  at least one cell regressed
+    0  gate passed
+    1  at least one cell regressed / fell short of the speedup
     2  usage / schema / input error (including zero overlapping cells,
        which would otherwise vacuously "pass")
 
@@ -36,10 +46,10 @@ def load_bench(path):
         raise SystemExit(
             f"mc_benchdiff: {path}: not an mc_bench BENCH file")
     schema = doc.get("schema")
-    if schema != 1:
+    if schema not in (1, 2):
         raise SystemExit(
             f"mc_benchdiff: {path}: unsupported schema {schema!r} "
-            "(this tool understands schema 1)")
+            "(this tool understands schemas 1 and 2)")
     cells = doc.get("cells")
     if not isinstance(cells, list):
         raise SystemExit(f"mc_benchdiff: {path}: missing cells[]")
@@ -69,9 +79,18 @@ def main(argv):
         metavar="PCT",
         help="fail when a cell's median drops more than PCT%% "
         "(default: %(default)s)")
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="instead of the regression threshold, fail when any "
+        "cell's current/baseline median ratio is below RATIO")
     args = ap.parse_args(argv)
     if args.threshold < 0:
         ap.error("--threshold must be >= 0")
+    if args.min_speedup is not None and args.min_speedup <= 0:
+        ap.error("--min-speedup must be > 0")
 
     base_doc, base = load_bench(args.baseline)
     cur_doc, cur = load_bench(args.current)
@@ -88,23 +107,32 @@ def main(argv):
     cur_sha = cur_doc.get("env", {}).get("gitSha", "?")
     print(f"baseline : {args.baseline} (git {base_sha})")
     print(f"current  : {args.current} (git {cur_sha})")
-    print(f"threshold: -{args.threshold:g}% median refs/sec")
+    if args.min_speedup is not None:
+        print(f"gate     : >= {args.min_speedup:g}x median refs/sec")
+    else:
+        print(f"threshold: -{args.threshold:g}% median refs/sec")
     print()
     width = max(len(cid) for cid in shared)
     print(f"{'cell':<{width}}  {'base Mr/s':>10}  {'cur Mr/s':>10}"
           f"  {'delta':>8}")
 
-    regressions = []
+    failures = []
     for cid in shared:
         b = base[cid]["medianRefsPerSec"]
         c = cur[cid]["medianRefsPerSec"]
         if b <= 0:
             delta_pct = 0.0
+            ratio = float("inf")
         else:
             delta_pct = 100.0 * (c - b) / b
+            ratio = c / b
         flag = ""
-        if delta_pct < -args.threshold:
-            regressions.append((cid, delta_pct))
+        if args.min_speedup is not None:
+            if ratio < args.min_speedup:
+                failures.append((cid, delta_pct))
+                flag = "  TOO SLOW"
+        elif delta_pct < -args.threshold:
+            failures.append((cid, delta_pct))
             flag = "  REGRESSED"
         print(f"{cid:<{width}}  {b / 1e6:>10.3f}  {c / 1e6:>10.3f}"
               f"  {delta_pct:>+7.1f}%{flag}")
@@ -114,14 +142,24 @@ def main(argv):
         print(f"\n(unmatched cells ignored: {skipped[0]} "
               f"baseline-only, {skipped[1]} current-only)")
 
-    if regressions:
-        print(
-            f"\nmc_benchdiff: {len(regressions)} cell(s) regressed "
-            f"beyond {args.threshold:g}%",
-            file=sys.stderr)
+    if failures:
+        if args.min_speedup is not None:
+            print(
+                f"\nmc_benchdiff: {len(failures)} cell(s) below the "
+                f"{args.min_speedup:g}x speedup floor",
+                file=sys.stderr)
+        else:
+            print(
+                f"\nmc_benchdiff: {len(failures)} cell(s) regressed "
+                f"beyond {args.threshold:g}%",
+                file=sys.stderr)
         return 1
-    print(f"\nmc_benchdiff: OK ({len(shared)} cells within "
-          f"{args.threshold:g}%)")
+    if args.min_speedup is not None:
+        print(f"\nmc_benchdiff: OK ({len(shared)} cells at "
+              f">= {args.min_speedup:g}x)")
+    else:
+        print(f"\nmc_benchdiff: OK ({len(shared)} cells within "
+              f"{args.threshold:g}%)")
     return 0
 
 
