@@ -144,7 +144,7 @@ class Acfv
   private:
     std::uint32_t numBits_;
     /** exactLog2(numBits_), cached so hot hashing skips the assert. */
-    unsigned log2Bits_;
+    unsigned log2Bits_; // ckpt: derived(Acfv)
     HashKind kind_;
     std::vector<std::uint64_t> words_;
 };

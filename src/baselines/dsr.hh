@@ -88,9 +88,9 @@ class DsrPolicy : public LevelHooks
 
     SetRole roleOf(SliceId slice, std::uint64_t set) const;
 
-    std::uint32_t numSlices_;
-    std::uint64_t numSets_;
-    std::uint64_t leaderPeriod_;
+    std::uint32_t numSlices_;  // ckpt: derived(DsrPolicy)
+    std::uint64_t numSets_;    // ckpt: derived(DsrPolicy)
+    std::uint64_t leaderPeriod_; // ckpt: derived(DsrPolicy)
     /** Saturating per-slice selectors; >0 favours not spilling. */
     std::vector<int> psel_;
     std::uint32_t rotor_ = 0;

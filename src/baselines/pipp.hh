@@ -88,9 +88,9 @@ class UtilityMonitor
     }
 
   private:
-    std::uint64_t numSets_;
-    std::uint32_t totalWays_;
-    std::uint32_t sampleShift_;
+    std::uint64_t numSets_;     // ckpt: derived(UtilityMonitor)
+    std::uint32_t totalWays_;   // ckpt: derived(UtilityMonitor)
+    std::uint32_t sampleShift_; // ckpt: derived(UtilityMonitor)
     /** ATD stacks, MRU at front; one per sampled set. */
     std::vector<std::vector<Addr>> stacks_;
     std::vector<std::uint64_t> hits_;
@@ -161,8 +161,8 @@ class PippPolicy : public LevelHooks
     }
 
   private:
-    std::uint32_t totalWays_;
-    double promotionProb_;
+    std::uint32_t totalWays_;  // ckpt: derived(PippPolicy)
+    double promotionProb_;     // ckpt: derived(PippPolicy)
     Rng rng_;
     std::vector<UtilityMonitor> monitors_;
     std::vector<std::uint32_t> alloc_;

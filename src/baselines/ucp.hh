@@ -97,10 +97,10 @@ class UcpPolicy : public LevelHooks
     std::size_t ownerIndex(SliceId slice, std::uint64_t set,
                            std::uint32_t way) const;
 
-    std::uint32_t numCores_;
-    std::uint64_t numSets_;
-    std::uint32_t numSlices_;
-    std::uint32_t assoc_;
+    std::uint32_t numCores_;  // ckpt: derived(UcpPolicy)
+    std::uint64_t numSets_;   // ckpt: derived(UcpPolicy)
+    std::uint32_t numSlices_; // ckpt: derived(UcpPolicy)
+    std::uint32_t assoc_;     // ckpt: derived(UcpPolicy)
     std::vector<UtilityMonitor> monitors_;
     std::vector<std::uint32_t> quota_;
     /** Owner core of each (slice, set, way); invalidCore if none. */
@@ -115,7 +115,7 @@ class UcpPolicy : public LevelHooks
      * ever consulted for fully valid sets, where every way's owner
      * entry is current and equals exactly this count.
      */
-    std::vector<std::uint32_t> ownedCount_;
+    std::vector<std::uint32_t> ownedCount_; // ckpt: derived(rebuildOwnedCounts)
 
     /** Recompute ownedCount_ from owner_ (after a checkpoint load). */
     void rebuildOwnedCounts();

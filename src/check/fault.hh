@@ -154,7 +154,7 @@ class FaultInjector : public BusFaultHook
     }
 
   private:
-    FaultConfig config_;
+    FaultConfig config_; // ckpt: derived(FaultInjector)
     /** Epoch-granularity fault stream. */
     Rng epochRng_;
     /** Per-bus-grant fault stream. */

@@ -194,7 +194,7 @@ class InvariantChecker
     }
 
   private:
-    CheckPolicy policy_;
+    CheckPolicy policy_; // ckpt: derived(InvariantChecker)
     CheckStats stats_;
 };
 

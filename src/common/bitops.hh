@@ -8,6 +8,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <type_traits>
 
 #include "common/logging.hh"
 
@@ -47,6 +48,38 @@ constexpr std::uint64_t
 divCeil(std::uint64_t a, std::uint64_t b)
 {
     return (a + b - 1) / b;
+}
+
+/**
+ * Saturating subtraction for unsigned cycle/byte/count math:
+ * a - b, floored at 0 instead of wrapping to ~2^64. Unsigned
+ * subtraction that can cross zero is this repo's most-shipped bug
+ * class (stale bus occupancy, pipelined-cycle overlap); every such
+ * site must route through here or carry an mc_analyze allowlist
+ * entry. The second operand is non-deduced so literals convert to
+ * the left operand's type (`satSub(cycles, 1)`).
+ */
+template <typename T>
+[[nodiscard]] constexpr T
+satSub(T a, std::type_identity_t<T> b)
+{
+    static_assert(std::is_unsigned_v<T>,
+                  "satSub is for unsigned types; signed math "
+                  "does not wrap at zero");
+    return a >= b ? a - b : T{0};
+}
+
+/** Saturating decrement: --v unless v is already 0. Returns the
+ *  new value. */
+template <typename T>
+constexpr T
+satDec(T &v)
+{
+    static_assert(std::is_unsigned_v<T>,
+                  "satDec is for unsigned types");
+    if (v != 0)
+        --v;
+    return v;
 }
 
 /**

@@ -413,20 +413,22 @@ class CacheLevelModel
     std::vector<std::uint64_t>
     aggregateWords(const std::vector<SliceId> &slices) const;
 
-    LevelParams params_;
-    std::uint32_t acfvGranularity_ = 1;
+    LevelParams params_;            // ckpt: derived(CacheLevelModel)
+    std::uint32_t acfvGranularity_ = 1; // ckpt: derived(CacheLevelModel)
     /**
      * exactLog2(acfvGranularity_): the granularity is asserted
      * power-of-2 at construction, so the per-reference line-to-unit
      * division is a shift.
      */
-    unsigned acfvGranShift_ = 0;
+    unsigned acfvGranShift_ = 0; // ckpt: derived(CacheLevelModel)
     std::vector<CacheSlice> slices_;
     Partition partition_;
-    std::vector<std::uint32_t> groupOf_;
+    std::vector<std::uint32_t> groupOf_; // ckpt: derived(configure)
     /** Extra remote cycles per slice from physical-span stretch. */
+    // ckpt: derived(configure)
     std::vector<Cycle> spanExtraCycles_;
     /** Physical span (tiles) of each group (energy accounting). */
+    // ckpt: derived(configure)
     std::vector<std::uint32_t> groupSpanTiles_;
     SegmentedBus bus_;
     std::vector<Acfv> acfvs_;
@@ -442,9 +444,10 @@ class CacheLevelModel
      * (reserved to the group-wide way count at construction so the
      * per-insert gather never allocates).
      */
+    // ckpt: transient(reusable scratch; rewritten by every gather)
     std::vector<std::uint64_t> stampScratch_;
     /** Optional policy hooks (PIPP/DSR baselines); not owned. */
-    LevelHooks *hooks_ = nullptr;
+    LevelHooks *hooks_ = nullptr; // ckpt: transient(wiring; reattached by owner)
 };
 
 } // namespace morphcache

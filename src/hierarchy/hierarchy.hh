@@ -201,13 +201,13 @@ class Hierarchy
     /** Re-establish inclusion after a reconfiguration. */
     void enforceInclusion(const Topology &old_topology);
 
-    HierarchyParams params_;
+    HierarchyParams params_; // ckpt: derived(Hierarchy)
     /**
      * exactLog2(l1Geom.lineBytes), cached so the per-access
      * byte-to-line conversion is a plain shift (line sizes match
      * across levels, validated at construction).
      */
-    unsigned lineShift_ = 0;
+    unsigned lineShift_ = 0; // ckpt: derived(Hierarchy)
     std::vector<CacheSlice> l1s_;
     CacheLevelModel l2_;
     CacheLevelModel l3_;

@@ -20,6 +20,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/types.hh"
 #include "interconnect/arbiter.hh"
 #include "interconnect/segmented_bus.hh"
@@ -36,11 +37,14 @@ struct BusCompletion
     /** CPU cycle the data phase finished. */
     Cycle completedAt = 0;
 
-    /** End-to-end latency in CPU cycles. */
+    /** End-to-end latency in CPU cycles. Completion at or before
+     *  submission (possible transiently while a checkpoint is
+     *  being restored into the in-flight queue) reads as zero
+     *  latency, not a ~2^64-cycle wrap. */
     Cycle
     latency() const
     {
-        return completedAt - requestedAt;
+        return satSub(completedAt, requestedAt);
     }
 };
 

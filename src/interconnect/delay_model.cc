@@ -1,5 +1,6 @@
 #include "interconnect/delay_model.hh"
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace morphcache {
@@ -86,8 +87,8 @@ ArbiterDelayModel::transaction() const
     const double ratio = tech_.coreClockGhz / tech_.busClockGhz;
     fig.cpuCycles =
         static_cast<std::uint32_t>(fig.busCycles * ratio + 0.5);
-    fig.cpuCyclesPipelined =
-        static_cast<std::uint32_t>((fig.busCycles - 1) * ratio + 0.5);
+    fig.cpuCyclesPipelined = static_cast<std::uint32_t>(
+        satSub(fig.busCycles, 1u) * ratio + 0.5);
     return fig;
 }
 

@@ -55,7 +55,7 @@ SegmentedBus::queueAndOccupy(SliceId slice, Cycle now)
     // skew masquerade as contention.
     const Cycle occupancy = params_.occupancyCpuCycles();
     const Cycle cap = occupancy * segSize_[seg];
-    Cycle wait = busyUntil_[seg] > now ? busyUntil_[seg] - now : 0;
+    Cycle wait = satSub(busyUntil_[seg], now);
     if (wait > cap)
         wait = cap;
     // Injected grant faults (dropped/delayed grants) stretch both

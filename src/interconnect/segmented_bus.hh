@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/serial.hh"
 #include "common/types.hh"
 
@@ -90,8 +91,7 @@ struct BusParams
         // ~2^32-cycle occupancy.
         const std::uint32_t overlap = pipelined ? 1u : 0u;
         const std::uint32_t cycles =
-            busCyclesPerTxn > overlap ? busCyclesPerTxn - overlap
-                                      : 1u;
+            std::max(satSub(busCyclesPerTxn, overlap), 1u);
         return cycles * cpuCyclesPerBusCycle;
     }
 
@@ -107,8 +107,7 @@ struct BusParams
         // bus with busCyclesPerTxn < 2 kept the wrapped value.
         const std::uint32_t overlap = pipelined ? 2u : 1u;
         const std::uint32_t cycles =
-            busCyclesPerTxn > overlap ? busCyclesPerTxn - overlap
-                                      : 1u;
+            std::max(satSub(busCyclesPerTxn, overlap), 1u);
         return cycles * cpuCyclesPerBusCycle;
     }
 };
@@ -234,19 +233,19 @@ class SegmentedBus
     /** Shared queue/occupancy accounting; returns the wait. */
     Cycle queueAndOccupy(SliceId slice, Cycle now);
 
-    BusParams params_;
-    std::vector<std::uint32_t> groupOf_;
+    BusParams params_; // ckpt: derived(SegmentedBus)
+    std::vector<std::uint32_t> groupOf_; // ckpt: derived(configure)
     /** Earliest CPU cycle each segment becomes free. */
     std::vector<Cycle> busyUntil_;
     /** Slices per segment (queueing cap). */
-    std::vector<std::uint32_t> segSize_;
+    std::vector<std::uint32_t> segSize_; // ckpt: derived(configure)
     std::uint64_t numTxns_ = 0;
     std::uint64_t queueCycles_ = 0;
     /** Per-segment breakdowns, indexed by dense segment id. */
     std::vector<std::uint64_t> segQueueCycles_;
     std::vector<std::uint64_t> segTxns_;
     /** Optional injected grant faults (src/check); not owned. */
-    BusFaultHook *faultHook_ = nullptr;
+    BusFaultHook *faultHook_ = nullptr; // ckpt: transient(wiring; reattached by owner)
 };
 
 } // namespace morphcache

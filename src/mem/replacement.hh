@@ -60,8 +60,8 @@ class PlruTree
     void loadState(CkptReader &r) { bits_ = r.u64(); }
 
   private:
-    std::uint32_t assoc_;
-    std::uint32_t levels_;
+    std::uint32_t assoc_;  // ckpt: derived(PlruTree)
+    std::uint32_t levels_; // ckpt: derived(PlruTree)
     /** Heap-ordered direction bits; node 1 is the root. */
     std::uint64_t bits_ = 0;
 };

@@ -321,17 +321,17 @@ class CacheSlice
     void loadState(CkptReader &r);
 
   private:
-    SliceId id_;
-    CacheGeometry geom_;
-    ReplPolicy policy_;
+    SliceId id_;         // ckpt: derived(CacheSlice)
+    CacheGeometry geom_; // ckpt: derived(CacheSlice)
+    ReplPolicy policy_;  // ckpt: derived(CacheSlice)
     /** Cached geometry: ways per set. */
     std::uint32_t assoc_;
     /** Cached geometry: set count (power of two). */
     std::uint64_t numSets_;
     /** numSets_ - 1 (set-index mask; replaces the modulo). */
-    std::uint64_t setMask_;
+    std::uint64_t setMask_; // ckpt: derived(CacheSlice)
     /** Low `assoc_` bits set (valid-word scan mask). */
-    std::uint64_t waysMask_;
+    std::uint64_t waysMask_; // ckpt: derived(CacheSlice)
     /** Stored block numbers, indexed set * assoc + way. */
     std::vector<Addr> tags_;
     /** Recency stamps, indexed set * assoc + way. */

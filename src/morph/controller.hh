@@ -385,8 +385,8 @@ class MorphController
     /** One epoch decision spent inside quarantine. */
     void quarantineEpoch(Hierarchy &hierarchy);
 
-    MorphConfig config_;
-    std::uint32_t numCores_;
+    MorphConfig config_;     // ckpt: derived(MorphController)
+    std::uint32_t numCores_; // ckpt: derived(MorphController)
     MsatConfig msatNow_;
     MsatConfig msatL3Now_;
     ReconfigStats stats_;
@@ -408,10 +408,10 @@ class MorphController
     /** Config-owned injector (when config.faults is enabled). */
     std::unique_ptr<FaultInjector> ownedFaults_;
     /** External injector override (tests); not owned. */
-    FaultInjector *attachedFaults_ = nullptr;
+    FaultInjector *attachedFaults_ = nullptr; // ckpt: transient(test wiring)
 
     /** Decision-provenance tracer (not owned; null = disabled). */
-    Tracer *tracer_ = nullptr;
+    Tracer *tracer_ = nullptr; // ckpt: transient(wiring; reattached by owner)
 };
 
 } // namespace morphcache

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "common/bitops.hh"
 #include "stats/profiler.hh"
 
 namespace morphcache {
@@ -25,9 +26,9 @@ AllocSnapshot
 allocDelta(const AllocSnapshot &a, const AllocSnapshot &b)
 {
     AllocSnapshot d;
-    d.bytes = b.bytes - a.bytes;
-    d.calls = b.calls - a.calls;
-    d.frees = b.frees - a.frees;
+    d.bytes = satSub(b.bytes, a.bytes);
+    d.calls = satSub(b.calls, a.calls);
+    d.frees = satSub(b.frees, a.frees);
     return d;
 }
 

@@ -164,7 +164,7 @@ class MorphCacheSystem : public MemorySystem
     Hierarchy hierarchy_;
     MorphController controller_;
     /** Decision-provenance tracer (not owned; null = disabled). */
-    Tracer *tracer_ = nullptr;
+    Tracer *tracer_ = nullptr; // ckpt: transient(wiring; reattached by owner)
     /** Bus counter values at the previous epoch boundary. */
     std::uint64_t lastL2QueueCycles_ = 0;
     std::uint64_t lastL2Txns_ = 0;

@@ -140,9 +140,11 @@ class Simulation
      */
     void runEpochInto(EpochId epoch, EpochMetrics &metrics);
 
-    MemorySystem &system_;
-    Workload &workload_;
-    SimParams params_;
+    // MemorySystem and Workload have their own saveState; the run
+    // driver checkpoints each component separately.
+    MemorySystem &system_; // ckpt: transient(wiring; see above)
+    Workload &workload_; // ckpt: transient(wiring; see system_)
+    SimParams params_;   // ckpt: derived(Simulation)
     /** Per-core cycle clocks (fractional accumulation). */
     std::vector<double> cycles_;
     /** Per-core retired instructions. */
@@ -164,16 +166,17 @@ class Simulation
     std::vector<EpochMetrics> recorded_;
     /** Recorded epochs completed (valid prefix of recorded_). */
     std::uint64_t recordedCount_ = 0;
-    /** Per-epoch start-of-epoch baselines (reused scratch). */
-    std::vector<double> epochCycles0_;
-    std::vector<double> epochInstrs0_;
-    std::vector<std::uint64_t> epochMisses0_;
+    /** Per-epoch start-of-epoch baselines (reused scratch,
+     *  recaptured at the top of every runEpochInto call). */
+    std::vector<double> epochCycles0_;   // ckpt: transient(scratch)
+    std::vector<double> epochInstrs0_;   // ckpt: transient(scratch)
+    std::vector<std::uint64_t> epochMisses0_; // ckpt: transient(scratch)
     /** Metrics sink for warmup epochs (measured, discarded). */
-    EpochMetrics warmupScratch_;
+    EpochMetrics warmupScratch_; // ckpt: transient(scratch)
     /** Decision-provenance tracer (not owned; null = disabled). */
-    Tracer *tracer_ = nullptr;
+    Tracer *tracer_ = nullptr; // ckpt: transient(wiring; reattached by owner)
     /** Per-epoch snapshot target (not owned; null = disabled). */
-    StatsRegistry *registry_ = nullptr;
+    StatsRegistry *registry_ = nullptr; // ckpt: transient(wiring; reattached by owner)
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 #include "stats/registry.hh"
 
@@ -33,11 +34,14 @@ profDelta(const ProfSnapshot &a, const ProfSnapshot &b)
     for (std::size_t i = 0;
          i < static_cast<std::size_t>(ProfPhase::NumPhases); ++i) {
         const auto phase = static_cast<ProfPhase>(i);
-        d[phase].ns = b[phase].ns - a[phase].ns;
-        d[phase].calls = b[phase].calls - a[phase].calls;
-        d[phase].allocBytes = b[phase].allocBytes - a[phase].allocBytes;
-        d[phase].allocCalls = b[phase].allocCalls - a[phase].allocCalls;
-        d[phase].allocFrees = b[phase].allocFrees - a[phase].allocFrees;
+        d[phase].ns = satSub(b[phase].ns, a[phase].ns);
+        d[phase].calls = satSub(b[phase].calls, a[phase].calls);
+        d[phase].allocBytes =
+            satSub(b[phase].allocBytes, a[phase].allocBytes);
+        d[phase].allocCalls =
+            satSub(b[phase].allocCalls, a[phase].allocCalls);
+        d[phase].allocFrees =
+            satSub(b[phase].allocFrees, a[phase].allocFrees);
     }
     return d;
 }

@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/bitops.hh"
+
 namespace morphcache {
 
 class StatsRegistry;
@@ -252,11 +254,12 @@ class ScopedPhaseTimer
                         .count()));
             if (probe_) {
                 const ProfAllocSample now = probe_();
-                prof.addAlloc(phase_,
-                              ProfAllocSample{
-                                  now.bytes - alloc0_.bytes,
-                                  now.calls - alloc0_.calls,
-                                  now.frees - alloc0_.frees});
+                prof.addAlloc(
+                    phase_,
+                    ProfAllocSample{
+                        satSub(now.bytes, alloc0_.bytes),
+                        satSub(now.calls, alloc0_.calls),
+                        satSub(now.frees, alloc0_.frees)});
             }
         }
     }

@@ -174,7 +174,8 @@ class StatsRegistry
     std::vector<std::uint64_t> snapshotEpochs_;
     /** snapshots_[i][j] = raw sample of entry j at snapshot i. */
     std::vector<std::vector<double>> snapshots_;
-    StatsMeta meta_;
+    // Rebuilt by component re-registration during construction.
+    StatsMeta meta_; // ckpt: derived(StatsRegistry)
 };
 
 /**

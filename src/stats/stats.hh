@@ -140,8 +140,8 @@ class Histogram
     }
 
   private:
-    double lo_;
-    double hi_;
+    double lo_; // ckpt: derived(Histogram)
+    double hi_; // ckpt: derived(Histogram)
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
 };

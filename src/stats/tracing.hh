@@ -158,7 +158,7 @@ class Tracer
     }
 
   private:
-    TraceSink *sink_;
+    TraceSink *sink_; // ckpt: transient(wiring; reattached by owner)
     std::uint64_t epoch_ = 0;
     std::uint64_t time_ = 0;
     std::uint64_t seq_ = 0;

@@ -138,17 +138,12 @@ CoreRefGenerator::beginEpoch(EpochId epoch)
         hot_.spanLines() / l3_granule + 1;
     const double target_granules = f3 * params_.acfvBits;
     const std::uint64_t mid_granules = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(target_granules) >
-                   hot_l3_granules
-               ? static_cast<std::uint64_t>(target_granules) -
-                     hot_l3_granules
-               : 1);
+        1, satSub(static_cast<std::uint64_t>(target_granules),
+                  hot_l3_granules));
     const auto d3_lines = static_cast<std::uint64_t>(
         d3 * static_cast<double>(params_.l3SliceLines));
-    const std::uint64_t mid_lines =
-        std::max<std::uint64_t>(64, d3_lines > hot_.lines()
-                                        ? d3_lines - hot_.lines()
-                                        : 64);
+    const std::uint64_t mid_lines = std::max<std::uint64_t>(
+        64, satSub(d3_lines, hot_.lines()));
     WorkingSet mid;
     mid.base = hot_.base + hot_.spanLines() + l3_granule;
     mid.stride = l3_granule;

@@ -177,7 +177,11 @@ struct WorkingSet
         // Scatter each chunk within its granule: with a common
         // offset, chunks at a sets-multiple stride would all map
         // to the same cache sets and conflict pathologically.
-        const std::uint64_t room = stride - chunkLines + 1;
+        // chunkLines <= stride by construction (chunks tile the
+        // granule); saturate so a violated invariant degrades to
+        // room == 1 (no scatter) instead of a ~2^64 modulus that
+        // sprays addresses across the whole 64-bit space.
+        const std::uint64_t room = satSub(stride, chunkLines) + 1;
         const std::uint64_t hash =
             chunk * 0x9e3779b97f4a7c15ULL >> 32;
         if (roomDiv_.divisor() != room)
@@ -276,14 +280,14 @@ class CoreRefGenerator
   private:
     Addr drawLine();
 
-    BenchmarkProfile profile_;
-    CoreId core_;
-    GeneratorParams params_;
+    BenchmarkProfile profile_;  // ckpt: derived(CoreRefGenerator)
+    CoreId core_;               // ckpt: derived(CoreRefGenerator)
+    GeneratorParams params_;    // ckpt: derived(CoreRefGenerator)
     Rng rng_;
-    double spatialOffset_;
+    double spatialOffset_;      // ckpt: derived(CoreRefGenerator)
 
     /** First private line of this stream's address space. */
-    Addr privateBase_;
+    Addr privateBase_;          // ckpt: derived(CoreRefGenerator)
     WorkingSet hot_;
     WorkingSet mid_;
     /** Sweep cursor through the mid set. */
@@ -379,7 +383,7 @@ class MixWorkload : public Workload
     CoreRefGenerator &core(CoreId core);
 
   private:
-    std::string name_;
+    std::string name_; // ckpt: derived(MixWorkload)
     std::vector<CoreRefGenerator> gens_;
 };
 
@@ -410,8 +414,8 @@ class MultithreadedWorkload : public Workload
   private:
     void refreshSharedRegion(EpochId epoch);
 
-    BenchmarkProfile profile_;
-    GeneratorParams params_;
+    BenchmarkProfile profile_; // ckpt: derived(MultithreadedWorkload)
+    GeneratorParams params_;   // ckpt: derived(MultithreadedWorkload)
     Rng appRng_;
     SharedRegionSpec shared_;
     std::vector<CoreRefGenerator> gens_;

@@ -97,8 +97,8 @@ class TraceWorkload : public Workload
     void loadState(CkptReader &r) override;
 
   private:
-    Trace trace_;
-    bool sharedAddressSpace_;
+    Trace trace_;             // ckpt: derived(TraceWorkload)
+    bool sharedAddressSpace_; // ckpt: derived(TraceWorkload)
     std::size_t epoch_ = 0;
     std::vector<std::size_t> cursor_;
     std::uint64_t wraps_ = 0;

@@ -1,0 +1,37 @@
+// mc_analyze mutation fixture: concurrency-discipline violations.
+// A worker lambda handed to a thread container writes a plain
+// member and a by-reference capture with no atomic, no guard.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+class Campaign
+{
+  public:
+    void
+    fanOut()
+    {
+        std::uint64_t sharedTally = 0;
+        std::vector<std::thread> workers;
+        for (int i = 0; i < 4; ++i) {
+            workers.emplace_back([this, &sharedTally] {
+                // Plain member write from a thread body: torn
+                // updates and lost increments.
+                completed_ += 1;
+                // By-reference capture written by every worker.
+                sharedTally += 1;
+            });
+        }
+        for (auto &t : workers)
+            t.join();
+        (void)sharedTally;
+    }
+
+  private:
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace fixture

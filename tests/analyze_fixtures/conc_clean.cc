@@ -1,0 +1,45 @@
+// mc_analyze clean fixture: the disciplined counterparts — an
+// atomic member, a mutex-guarded container, and thread-confined
+// locals. Must produce no findings.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+class Campaign
+{
+  public:
+    void
+    fanOut()
+    {
+        std::vector<std::thread> workers;
+        for (int i = 0; i < 4; ++i) {
+            workers.emplace_back([this] {
+                // Confined: plain local of the thread body.
+                std::uint64_t mine = 0;
+                mine += 1;
+                // Atomic member: sanctioned shared counter.
+                completed_.fetch_add(1);
+                // Mutex-guarded member write; the guard is live in
+                // the enclosing scope.
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    results_.push_back(mine);
+                }
+            });
+        }
+        for (auto &t : workers)
+            t.join();
+    }
+
+  private:
+    std::atomic<std::uint64_t> completed_{0};
+    std::mutex mu_;
+    std::vector<std::uint64_t> results_;
+};
+
+} // namespace fixture

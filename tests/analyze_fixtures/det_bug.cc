@@ -1,0 +1,31 @@
+// mc_analyze mutation fixture: determinism violations — unordered
+// iteration feeding an ordered sink, libc entropy, a wall-clock
+// read, and a StatsRegistry bypass.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+void
+dumpStats()
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> counts;
+    counts[3] = 1;
+    // Hash-order iteration: output order varies across libstdc++
+    // versions and ASLR seeds.
+    for (const auto &kv : counts) {
+        std::printf("%llu\n",
+                    static_cast<unsigned long long>(kv.second));
+    }
+    // Entropy in simulation code.
+    int jitter = rand();
+    // Wall-clock read outside the sanctioned sites.
+    auto t0 = std::chrono::steady_clock::now();
+    (void)jitter;
+    (void)t0;
+}
+
+} // namespace fixture

@@ -1,0 +1,35 @@
+// mc_analyze clean fixture: the deterministic counterparts —
+// sorted iteration, seeded values, no wall clock, no stdout
+// bypass. Must produce no findings.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t
+reduceStats(const std::unordered_map<std::uint64_t,
+                                     std::uint64_t> &counts)
+{
+    // Ordered sink: copy the keys out and sort before emitting.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(counts.size());
+    for (std::uint64_t k = 0; k < 8; ++k)
+        keys.push_back(counts.count(k));
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t sum = 0;
+    for (std::uint64_t k : keys)
+        sum += k;
+    return sum;
+}
+
+std::uint64_t
+seededValue(std::uint64_t seed, std::uint64_t cycle)
+{
+    // Values derive from seeds and cycles, never entropy.
+    return seed * 0x9e3779b97f4a7c15ULL + cycle;
+}
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// mc_analyze mutation fixture: every subtraction here is the
+// unsigned-wrap bug class the wrap-safety pass exists to catch.
+// Never compiled; analyzed with --fixture-mode by analyze_test.cc.
+
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t
+waitCycles(std::uint64_t busyUntil, std::uint64_t now)
+{
+    // Wraps to ~2^64 when the segment is already free (busyUntil
+    // behind now).
+    std::uint64_t wait = busyUntil - now;
+    return wait;
+}
+
+void
+drainBudget(std::uint64_t latency)
+{
+    std::uint64_t cycleBudget = 100;
+    // Compound form of the same bug.
+    cycleBudget -= latency;
+    // Decrement across zero.
+    std::uint64_t txnCount = 0;
+    --txnCount;
+    (void)cycleBudget;
+    (void)txnCount;
+}
+
+} // namespace fixture

@@ -12,6 +12,23 @@
 namespace morphcache {
 namespace {
 
+/**
+ * Regression for a latent wrap: a BusCompletion whose timestamps
+ * are inconsistent (e.g. rebuilt across a checkpoint boundary)
+ * must report zero latency, not a ~2^64-cycle unsigned wrap.
+ */
+TEST(BusSim, CompletionLatencySaturatesAtZero)
+{
+    BusCompletion c;
+    c.requestedAt = 100;
+    c.completedAt = 40;
+    EXPECT_EQ(c.latency(), 0u);
+    c.completedAt = 100;
+    EXPECT_EQ(c.latency(), 0u);
+    c.completedAt = 115;
+    EXPECT_EQ(c.latency(), 15u);
+}
+
 TEST(BusSim, SingleTransactionLatency)
 {
     SegmentedBusSim sim(4, BusParams{});

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -48,6 +49,28 @@ TEST(Bitops, DivCeil)
     EXPECT_EQ(divCeil(10, 3), 4u);
     EXPECT_EQ(divCeil(9, 3), 3u);
     EXPECT_EQ(divCeil(1, 64), 1u);
+}
+
+TEST(Bitops, SatSubSaturatesAtZero)
+{
+    EXPECT_EQ(satSub(10u, 3u), 7u);
+    EXPECT_EQ(satSub(3u, 10u), 0u);
+    EXPECT_EQ(satSub(0u, 0u), 0u);
+    EXPECT_EQ(satSub(~0ULL, 1ULL), ~0ULL - 1);
+    EXPECT_EQ(satSub(std::uint64_t{0}, ~0ULL), 0ULL);
+    // The second operand is a non-deduced context, so a narrower
+    // literal follows the first operand's type instead of
+    // poisoning deduction.
+    EXPECT_EQ(satSub(std::uint64_t{5}, 1u), 4ULL);
+}
+
+TEST(Bitops, SatDecStopsAtZero)
+{
+    std::uint32_t v = 2;
+    EXPECT_EQ(satDec(v), 1u);
+    EXPECT_EQ(satDec(v), 0u);
+    EXPECT_EQ(satDec(v), 0u); // saturates instead of wrapping
+    EXPECT_EQ(v, 0u);
 }
 
 TEST(Rng, Deterministic)

@@ -18,6 +18,26 @@
 namespace morphcache {
 namespace {
 
+/**
+ * Regression for a latent wrap: chunkLines <= stride holds by
+ * construction, but if a future layout violates it the scatter
+ * room must saturate to 1 (no scatter) rather than computing a
+ * ~2^64 modulus that sprays addresses across the whole 64-bit
+ * space. Every address stays inside the granule tiling either way.
+ */
+TEST(Generator, WorkingSetScatterSaturatesWhenChunksExceedStride)
+{
+    WorkingSet ws;
+    ws.base = 0;
+    ws.chunkCount = 4;
+    ws.chunkLines = 8;
+    ws.stride = 4; // violated invariant: chunkLines > stride
+    for (std::uint64_t pos = 0; pos < ws.lines(); ++pos) {
+        EXPECT_LT(ws.lineAt(pos), ws.spanLines() + ws.chunkLines)
+            << "pos " << pos;
+    }
+}
+
 TEST(Profiles, Table4Counts)
 {
     EXPECT_EQ(specProfiles().size(), 29u);   // all of SPEC CPU 2006

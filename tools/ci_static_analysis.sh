@@ -15,8 +15,36 @@ builddir="${1:-build-analysis}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
+echo "== mc_analyze: AST-level semantic analyzer =="
+# Whole-tree run must be clean. The parse cache lives under
+# .cache/mc_analyze (content-hash keyed, safe to persist across CI
+# runs); --write-coverage records which files were resolved at
+# call-expression level so mc_lint can stand down its overlapping
+# regexes for exactly those files.
+coverage="$(mktemp)"
+python3 tools/mc_analyze --write-coverage "$coverage"
+
+echo "== mc_analyze: mutation fixtures must be caught =="
+# One seeded-bug fixture per pass. A pass that goes blind makes its
+# fixture exit 0 and fails this leg -- the analyzer is not allowed
+# to silently pass with zero coverage.
+for fix in wrap_bug ckpt_bug det_bug conc_bug; do
+    if python3 tools/mc_analyze --fixture-mode --cache-dir '' \
+        --allowlist /dev/null \
+        "tests/analyze_fixtures/$fix.cc" >/dev/null 2>&1; then
+        echo "FAIL: planted bug fixture '$fix' was not detected" >&2
+        exit 1
+    fi
+done
+for fix in wrap_clean ckpt_clean det_clean conc_clean; do
+    python3 tools/mc_analyze --fixture-mode --cache-dir '' \
+        --allowlist /dev/null -q \
+        "tests/analyze_fixtures/$fix.cc"
+done
+
 echo "== mc_lint: determinism & convention linter =="
-python3 tools/mc_lint.py
+python3 tools/mc_lint.py --ast-coverage "$coverage"
+rm -f "$coverage"
 
 # The analyzers and the model checker consume a real build:
 # clang-tidy needs compile_commands.json (exported unconditionally
@@ -32,9 +60,12 @@ if command -v clang-tidy >/dev/null 2>&1; then
     echo "== clang-tidy =="
     # First-party translation units only; externals (gtest,
     # benchmark) are not ours to lint.
+    # tests/analyze_fixtures holds deliberately-buggy, never-compiled
+    # mc_analyze inputs: no compile command, nothing to tidy.
     sources=$(git ls-files 'src/**/*.cc' 'tools/*.cc' \
                            'tests/*.cc' 'bench/*.cc' \
-                           'examples/*.cc')
+                           'examples/*.cc' \
+                           ':!tests/analyze_fixtures/**')
     if command -v run-clang-tidy >/dev/null 2>&1; then
         # shellcheck disable=SC2086  # word-splitting intended
         run-clang-tidy -quiet -p "$builddir" -j "$(nproc)" $sources

@@ -1,0 +1,67 @@
+"""Per-site allowlist for analyzer findings.
+
+Format (``tools/mc_analyze_allow.txt``), one entry per line:
+
+    <check>:<path>:<site> -- <justification>
+
+``<site>`` is the stable content-based site key each pass embeds in
+its findings (e.g. ``profDelta:d[phase].allocBytes-=...`` for
+wrap-safety) — line numbers are deliberately NOT part of the key so
+unrelated edits don't churn the allowlist. The justification is
+mandatory: an entry without ``--`` text is itself a finding, and so
+is a *stale* entry that no current finding consumes (dead
+allowlist lines hide regressions).
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import Finding
+
+
+class Allowlist:
+    def __init__(self, path: str | None):
+        self.path = path
+        self.entries: dict[str, str] = {}  # key -> justification
+        self.bad_lines: list[tuple[int, str]] = []
+        self.used: set[str] = set()
+        if path:
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        with open(path, encoding="utf-8") as f:
+            for lineno, raw in enumerate(f, 1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                m = re.match(r"(.+?)\s+--\s+(.+)$", line)
+                if not m or m.group(1).count(":") < 2:
+                    self.bad_lines.append((lineno, line))
+                    continue
+                self.entries[m.group(1).strip()] = m.group(2).strip()
+
+    def permits(self, finding: Finding) -> bool:
+        key = finding.key()
+        if key in self.entries:
+            self.used.add(key)
+            return True
+        return False
+
+    def residual_findings(self) -> list[Finding]:
+        """Malformed and stale entries, as findings against the
+        allowlist file itself."""
+        out = []
+        for lineno, line in self.bad_lines:
+            out.append(Finding(
+                self.path or "", lineno, "allowlist",
+                f"malformed entry '{line}': expected "
+                "<check>:<path>:<site> -- <justification>",
+                f"malformed:{lineno}"))
+        for key in sorted(set(self.entries) - self.used):
+            out.append(Finding(
+                self.path or "", 0, "allowlist",
+                f"stale entry '{key}': no current finding matches; "
+                "delete it (dead entries mask regressions)",
+                f"stale:{key}"))
+        return out

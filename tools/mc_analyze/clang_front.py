@@ -1,0 +1,195 @@
+"""Gated clang frontend: precise decl facts when clang is present.
+
+The analyzer's semantic model has two layers of provenance:
+
+  * **decl facts** — classes, members, aliases, signatures. Types
+    here drive the wrap-safety and concurrency verdicts, so
+    precision pays. When a ``clang`` driver exists on PATH this
+    frontend runs ``clang++ -fsyntax-only -Xclang -ast-dump=json``
+    per file (flags lifted from ``compile_commands.json`` when the
+    build tree provides one) and extracts canonical types from the
+    AST.
+  * **body facts** — subtraction sites, writes, guards, loops,
+    lambdas. These come from the built-in uparse frontend either
+    way; the clang decl facts are overlaid (member/param/alias
+    types replaced with clang's answer).
+
+The container for local development has no clang driver — only the
+gcc toolchain — so everything must degrade: no clang → pure uparse
+(``FileModel.frontend == "uparse"``); clang present but a dump or
+parse fails → per-file fallback to uparse. GitHub CI installs clang
+and exercises the overlay path; the synthetic-dump selftest
+(``--selftest-clang-extract``) pins the JSON extraction logic with
+no clang needed at all.
+
+clang's JSON uses *sticky* locations: ``loc``/``range`` omit the
+file (and often the line) when unchanged from the previously
+printed node. The walker threads that state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+
+import uparse
+from model import FileModel
+
+_DEFAULT_FLAGS = ["-std=c++20", "-I", "."]
+
+
+def clang_binary() -> str | None:
+    return shutil.which("clang++") or shutil.which("clang")
+
+
+def load_compile_flags(repo_root: str) -> dict[str, list[str]]:
+    """path (repo-relative) -> include/std flags, from the first
+    compile_commands.json found in conventional build dirs."""
+    out: dict[str, list[str]] = {}
+    for bdir in ("build", "build-analysis"):
+        ccj = os.path.join(repo_root, bdir, "compile_commands.json")
+        if not os.path.exists(ccj):
+            continue
+        try:
+            with open(ccj, encoding="utf-8") as f:
+                entries = json.load(f)
+        except (OSError, ValueError):
+            continue
+        for e in entries:
+            args = e.get("command", "").split() or \
+                e.get("arguments", [])
+            keep: list[str] = []
+            i = 0
+            while i < len(args):
+                a = args[i]
+                if a.startswith(("-I", "-D", "-std=")):
+                    keep.append(a)
+                elif a in ("-isystem", "-include"):
+                    keep.append(a)
+                    if i + 1 < len(args):
+                        keep.append(args[i + 1])
+                        i += 1
+                i += 1
+            rel = os.path.relpath(e.get("file", ""), repo_root)
+            out[rel] = keep
+        break
+    return out
+
+
+def dump_ast(clang: str, path: str, flags: list[str]) -> dict | None:
+    cmd = [clang, "-x", "c++", "-fsyntax-only",
+           "-Xclang", "-ast-dump=json"] + flags + [path]
+    try:
+        r = subprocess.run(cmd, capture_output=True, text=True,
+                           timeout=120)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if not r.stdout:
+        return None
+    try:
+        return json.loads(r.stdout)
+    except ValueError:
+        return None
+
+
+def _loc_file(node: dict, cur: str) -> str:
+    loc = node.get("loc") or {}
+    for probe in (loc, loc.get("spellingLoc") or {},
+                  loc.get("expansionLoc") or {}):
+        if "file" in probe:
+            return probe["file"]
+    rng = (node.get("range") or {}).get("begin") or {}
+    if "file" in rng:
+        return rng["file"]
+    return cur
+
+
+def _loc_line(node: dict, cur: int) -> int:
+    loc = node.get("loc") or {}
+    if "line" in loc:
+        return loc["line"]
+    rng = (node.get("range") or {}).get("begin") or {}
+    if "line" in rng:
+        return rng["line"]
+    return cur
+
+
+def extract_decls(dump: dict, want_path: str) -> dict:
+    """Walk a clang -ast-dump=json tree; return decl facts for
+    nodes located in `want_path`:
+
+      {"aliases": {name: type},
+       "members": {(cls, member): type},
+       "params":  {(func, param): type},
+       "rets":    {func: type}}
+    """
+    facts = {"aliases": {}, "members": {}, "params": {}, "rets": {}}
+    want = os.path.basename(want_path)
+
+    def walk(node, cur_file, cur_line, cls, func):
+        if not isinstance(node, dict):
+            return cur_file, cur_line
+        cur_file = _loc_file(node, cur_file)
+        cur_line = _loc_line(node, cur_line)
+        here = os.path.basename(cur_file) == want
+        kind = node.get("kind", "")
+        name = node.get("name", "")
+        qt = (node.get("type") or {}).get("qualType", "")
+        if here:
+            if kind in ("TypeAliasDecl", "TypedefDecl") and name:
+                facts["aliases"][name] = qt
+            elif kind == "FieldDecl" and name and cls:
+                facts["members"][(cls, name)] = qt
+            elif kind == "ParmVarDecl" and name and func:
+                facts["params"][(func, name)] = qt
+            elif kind in ("FunctionDecl", "CXXMethodDecl") and qt:
+                facts["rets"][name] = qt.split("(")[0].strip()
+        if kind == "CXXRecordDecl" and name and \
+                node.get("completeDefinition"):
+            cls = name
+        if kind in ("FunctionDecl", "CXXMethodDecl",
+                    "CXXConstructorDecl"):
+            func = name
+        for child in node.get("inner") or []:
+            cur_file, cur_line = walk(child, cur_file, cur_line,
+                                      cls, func)
+        return cur_file, cur_line
+
+    walk(dump, "", 0, "", "")
+    return facts
+
+
+def overlay(fm: FileModel, facts: dict) -> None:
+    """Replace uparse's heuristic types with clang's answers."""
+    for cm in fm.classes:
+        for m in cm.members:
+            t = facts["members"].get((cm.name, m.name))
+            if t:
+                m.type = t
+    for fn in fm.functions:
+        fn.params = [(n, facts["params"].get((fn.name, n), t))
+                     for n, t in fn.params]
+        r = facts["rets"].get(fn.name)
+        if r:
+            fn.ret_type = r
+    for name, t in facts["aliases"].items():
+        fm.aliases[name] = t
+
+
+def parse_file(path: str, rel: str, text: str, clang: str,
+               flags: dict[str, list[str]]) -> FileModel:
+    """Clang-overlaid parse; silently degrades to pure uparse."""
+    fm = uparse.parse_file(rel, text)
+    file_flags = flags.get(rel) or _DEFAULT_FLAGS
+    dump = dump_ast(clang, path, file_flags)
+    if dump is None:
+        return fm  # fm.frontend stays "uparse"
+    try:
+        facts = extract_decls(dump, rel)
+        overlay(fm, facts)
+        fm.frontend = "clang"
+    except (KeyError, TypeError, ValueError):
+        return fm
+    return fm

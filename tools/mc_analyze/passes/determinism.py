@@ -1,0 +1,159 @@
+"""Pass 3: determinism at AST level.
+
+Two layers:
+
+  * **Unordered iteration**: a range-for (or explicit .begin()
+    loop) over ``unordered_map``/``unordered_set`` state inside
+    simulation code. Hash-order iteration feeding any ordered sink
+    (stats dump, trace emit, manifest append, checkpoint bytes) is
+    exactly how -jN stops being -j1; the repo convention is to copy
+    to a vector and sort (see AcfActiveLines::saveState). Flagged
+    unconditionally in ``src/`` — an order-insensitive reduction is
+    allowlisted with its justification.
+
+  * **Entropy / wall-clock / stdout bans** upgraded from mc_lint's
+    regexes to call-expression resolution: a call to ``rand()``,
+    ``time()``, ``clock_gettime()`` etc. is flagged as a *call*, so
+    accessor methods named ``time()`` or comments no longer need
+    pattern gymnastics. The sanctioned-site sets are imported from
+    mc_lint — one source of truth for both layers of tooling.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+from model import Finding
+from passes.common import Index, strip_cv_ref
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+import mc_lint  # noqa: E402  (sanctioned-site sets)
+
+_UNORDERED = re.compile(r"\bunordered_(map|set|multimap|multiset)\b")
+_CLOCKS = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\b")
+_CLOCK_CALLS = {"gettimeofday", "clock_gettime", "timespec_get"}
+_ENTROPY_CALLS = {"rand", "srand"}
+_TIME_CALLS = {"time", "clock"}
+
+
+def _norm(text: str) -> str:
+    return re.sub(r"\s+", "", text)
+
+
+def _receiverless(callee: str) -> str | None:
+    """Last component if the call has no object receiver (allows
+    std:: qualification), else None."""
+    if "." in callee or "->" in callee:
+        return None
+    parts = callee.split("::")
+    if len(parts) > 1 and parts[0] not in ("", "std"):
+        return None
+    return parts[-1]
+
+
+def run_determinism(index: Index, scope) -> list[Finding]:
+    findings: list[Finding] = []
+    for fm in index.models:
+        in_src = scope(fm.path, "det-src")
+        everywhere = scope(fm.path, "det-all")
+        if not in_src and not everywhere:
+            continue
+        wall_ok = fm.path in mc_lint.WALL_CLOCK_ALLOW
+        for fn in fm.functions:
+            if in_src:
+                _unordered_loops(index, fm.path, fn, findings)
+                _entropy(index, fm.path, fn, findings)
+                _stats_bypass(fm.path, fn, findings)
+            if everywhere and not wall_ok:
+                _wall_clock(fm.path, fn, findings)
+    return findings
+
+
+def _unordered_loops(index, path, fn, findings):
+    for lp in fn.loops:
+        t = index.resolve_chain(fn, lp.expr)
+        if not t:
+            t = index.scope_type(fn, lp.expr_type)
+        t = index.resolve_alias(strip_cv_ref(t))
+        if not _UNORDERED.search(t):
+            continue
+        findings.append(Finding(
+            path, lp.line, "determinism",
+            f"iteration over unordered container '{lp.expr}' "
+            f"({t}): hash order must not reach an ordered sink; "
+            "copy to a vector and sort, or allowlist an "
+            "order-insensitive reduction",
+            f"{fn.name}:{_norm(lp.expr)}"))
+
+
+def _entropy(index, path, fn, findings):
+    if path in mc_lint.DETERMINISM_ALLOW:
+        return
+    for call in fn.calls:
+        callee, line = call[0], call[1]
+        name = _receiverless(callee)
+        if name in _ENTROPY_CALLS:
+            findings.append(Finding(
+                path, line, "determinism",
+                f"call to {name}(): simulation code derives values "
+                "from seeds/cycles (DESIGN.md section 9)",
+                f"{fn.name}:{name}"))
+        elif name in _TIME_CALLS:
+            findings.append(Finding(
+                path, line, "determinism",
+                f"call to libc {name}(): wall time must not feed "
+                "simulation state (DESIGN.md section 9)",
+                f"{fn.name}:{name}"))
+    for pool in (fn.locals, fn.params):
+        for _, t in pool:
+            if "random_device" in t:
+                findings.append(Finding(
+                    path, fn.line, "determinism",
+                    "std::random_device: nondeterministic entropy "
+                    "source in simulation code",
+                    f"{fn.name}:random_device"))
+
+
+def _wall_clock(path, fn, findings):
+    for call in fn.calls:
+        callee, line = call[0], call[1]
+        name = _receiverless(callee)
+        if name in _CLOCK_CALLS or (name and _CLOCKS.search(callee)):
+            findings.append(Finding(
+                path, line, "wall-clock",
+                f"wall-clock read '{callee}' outside the sanctioned "
+                "clock sites; call perfNowNs()/unixNowSec() "
+                "(src/perf/clock.hh)",
+                f"{fn.name}:{_norm(callee)}"))
+    for _, t in fn.locals:
+        if _CLOCKS.search(t):
+            findings.append(Finding(
+                path, fn.line, "wall-clock",
+                f"wall-clock typed local ({t}) outside the "
+                "sanctioned clock sites (src/perf/clock.hh)",
+                f"{fn.name}:{_norm(t)}"))
+
+
+def _stats_bypass(path, fn, findings):
+    if path in mc_lint.STATS_BYPASS_ALLOW:
+        return
+    for call in fn.calls:
+        callee, line = call[0], call[1]
+        arg0 = call[2] if len(call) > 2 else ""
+        name = _receiverless(callee)
+        if callee == "std::cout" or name in ("puts", "putchar") or \
+                name == "printf" or \
+                (name == "fprintf" and arg0 == "stdout"):
+            what = callee if callee == "std::cout" else f"{name}()"
+            findings.append(Finding(
+                path, line, "stats-bypass",
+                f"{what} bypasses StatsRegistry/logging; stdout "
+                "carries only registry-reported bytes",
+                f"{fn.name}:{name or 'cout'}"))

@@ -59,6 +59,15 @@ the repo's source conventions over ``src/``:
     or link is a second publication path the crash matrix
     (DESIGN.md section 12) does not cover.
 
+Division of labour with ``tools/mc_analyze``: the determinism axes
+(``determinism``, ``wall-clock``, ``stats-bypass``) also exist there
+as call-expression-resolving AST passes. Pass mc_analyze's
+``--write-coverage`` output here as ``--ast-coverage`` to let the
+AST version own those axes for the files it parsed; the regexes stay
+on as the fallback for uncovered files, so running mc_lint alone is
+always safe. The structural conventions (``globals``,
+``atomic-write``, ``manifest-write``, ``includes``) live only here.
+
 Exit status: 0 when clean, 1 when any finding is reported, 2 on
 usage errors. Stdlib only; no third-party dependencies.
 """
@@ -451,20 +460,31 @@ def check_includes(path: str, raw: str, repo_root: str) -> list[Finding]:
     return findings
 
 
-def lint_file(path: str, repo_root: str) -> list[Finding]:
+def lint_file(path: str, repo_root: str,
+              ast_covered: set[str] | None = None) -> list[Finding]:
     with open(os.path.join(repo_root, path), encoding="utf-8") as f:
         raw = f.read()
     code = strip_comments_and_strings(raw)
     findings = []
-    # The wall-clock funnel covers every scanned root; the simulation
-    # conventions (registry-only stdout, no file-scope state, atomic
-    # writes, include hygiene) are src/-library contracts — tools and
-    # bench drivers legitimately print and parse argv.
-    findings += check_wall_clock(path, code)
+    # The determinism axes (wall-clock, entropy, stats-bypass) have
+    # two implementations: these regexes, and mc_analyze's
+    # call-expression resolution, which understands receivers and
+    # aliases and therefore flags less noise with no less coverage.
+    # When the caller proves a file was analyzed at AST level this
+    # run (--ast-coverage), the regex leg stands down for it; with
+    # no coverage file -- or for any file missing from it -- the
+    # regexes remain the backstop, so the union is never weaker
+    # than the old linter. The structural conventions (globals,
+    # atomic writes, manifest publication, include hygiene) have no
+    # AST counterpart and always run here.
+    covered = ast_covered is not None and path in ast_covered
+    if not covered:
+        findings += check_wall_clock(path, code)
     if path.startswith("src/"):
-        findings += check_determinism(path, code)
+        if not covered:
+            findings += check_determinism(path, code)
+            findings += check_stats_bypass(path, code)
         findings += check_globals(path, code)
-        findings += check_stats_bypass(path, code)
         findings += check_atomic_write(path, raw)
         findings += check_manifest_write(path, code)
         findings += check_includes(path, raw, repo_root)
@@ -501,9 +521,28 @@ def main(argv: list[str]) -> int:
             os.path.dirname(os.path.abspath(__file__))),
         help="repository root (default: parent of this script)")
     parser.add_argument(
+        "--ast-coverage", metavar="FILE", default=None,
+        help="file listing repo-relative paths (one per line) that "
+             "tools/mc_analyze resolved at call-expression level "
+             "this run (its --write-coverage output); the regex "
+             "determinism/wall-clock/stats-bypass checks are "
+             "skipped for those files and kept as the fallback for "
+             "everything else")
+    parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="suppress the summary line")
     args = parser.parse_args(argv)
+
+    ast_covered: set[str] | None = None
+    if args.ast_coverage is not None:
+        try:
+            with open(args.ast_coverage, encoding="utf-8") as f:
+                ast_covered = {line.strip() for line in f
+                               if line.strip()}
+        except OSError as exc:
+            print(f"mc_lint: cannot read --ast-coverage: {exc}",
+                  file=sys.stderr)
+            return 2
 
     sources = collect_sources(args.repo_root,
                               args.paths or ["src", "tools",
@@ -514,7 +553,7 @@ def main(argv: list[str]) -> int:
 
     findings = []
     for path in sources:
-        findings += lint_file(path, args.repo_root)
+        findings += lint_file(path, args.repo_root, ast_covered)
 
     for finding in findings:
         print(finding)
