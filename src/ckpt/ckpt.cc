@@ -171,10 +171,12 @@ writeCheckpoint(const std::string &path, const RunSpec &spec,
     w.u64(sum);
 
     // Rotate the previous consistent checkpoint into the fallback
-    // slot. If the write below fails the main file is gone, but
-    // restoreCheckpointChain still finds `<path>.prev`.
-    std::rename(path.c_str(), (path + ".prev").c_str());
-    atomicWriteFile(path, w.buffer());
+    // slot, then land the new one atomically. If the write fails
+    // after the rotation the main file is gone, but
+    // restoreCheckpointChain still finds `<path>.prev`; a failed
+    // rotation surfaces as a typed IoError before the old chain is
+    // disturbed.
+    atomicWriteFileWithRotation(path, w.buffer());
 }
 
 RestoreOutcome

@@ -55,6 +55,39 @@ class CkptError : public SimError
 };
 
 /**
+ * A filesystem operation failed beneath one of the durability
+ * primitives (src/io). Derives from CkptError so every existing
+ * durable-write caller that handles CkptError keeps working; adds
+ * the failing errno and a transience classification so retry
+ * policy is decided once, at the throw site, from the error code
+ * rather than re-guessed by each caller. The degradation contract
+ * (DESIGN.md section 15): transient faults are retried with bounded
+ * seeded-jitter backoff before this escapes; once it does, the
+ * fault is treated as persistent for the artifact being written —
+ * campaigns quarantine the cell, executors release the lease, and
+ * single runs exit with resumable state intact.
+ */
+class IoError : public CkptError
+{
+  public:
+    IoError(const std::string &what, int errno_code, bool transient)
+        : CkptError(what), errno_(errno_code), transient_(transient)
+    {
+    }
+
+    /** The errno the failing syscall reported (0 if none). */
+    int errnoCode() const { return errno_; }
+
+    /** Whether the fault class is worth retrying (EINTR, EAGAIN,
+     * ESTALE, ...) as opposed to persistent (ENOSPC, EIO, ...). */
+    bool transient() const { return transient_; }
+
+  private:
+    int errno_;
+    bool transient_;
+};
+
+/**
  * A campaign lease operation failed: the lease was lost to another
  * worker (stale-lease fencing rejected a write), a claim raced, or
  * a lease file could not be created. Workers treat it as "this cell

@@ -32,6 +32,39 @@ splitMix64(std::uint64_t &state)
 }
 
 /**
+ * Delay before retry number `attempt` (1-based) of work item
+ * `cell_index` under identity `campaign_hash`: bounded exponential
+ * backoff (100 ms * 2^(attempt-1), capped at 2 s) with seeded
+ * deterministic jitter — a SplitMix64 draw over (hash, index,
+ * attempt) maps the delay into [base/2, base]. M workers retrying
+ * the same flaky shared-filesystem epoch therefore spread out
+ * instead of thundering back in lockstep, yet the schedule is a
+ * pure function of the identity triple, so reruns and resumes see
+ * identical delays and output bytes never depend on wall time.
+ * Lives here (not the runner) because the transient-fault retry in
+ * atomicWriteFile reuses it with (path hash, 0, attempt).
+ */
+inline std::uint64_t
+retryDelayMs(std::uint64_t campaign_hash, std::uint64_t cell_index,
+             std::uint64_t attempt)
+{
+    const std::uint64_t shift =
+        attempt - 1 < 10 ? attempt - 1 : 10;
+    std::uint64_t base = 100ULL << shift;
+    if (base > 2000)
+        base = 2000;
+    // Seeded deterministic jitter into [base/2, base]: distinct
+    // multipliers keep (index, attempt) pairs from aliasing, and
+    // the SplitMix64 finalizer decorrelates neighbouring cells.
+    std::uint64_t state = campaign_hash ^
+                          (cell_index * 0x9e3779b97f4a7c15ULL) ^
+                          (attempt * 0xbf58476d1ce4e5b9ULL);
+    const std::uint64_t draw = splitMix64(state);
+    const std::uint64_t half = base / 2;
+    return half + draw % (half + 1);
+}
+
+/**
  * xoshiro256** PRNG.
  *
  * Small, fast, and high quality; good enough to drive synthetic

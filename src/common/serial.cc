@@ -1,43 +1,48 @@
 #include "common/serial.hh"
 
 #include <fcntl.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
+
+#include "common/rng.hh"
+#include "io/vfs.hh"
 
 namespace morphcache {
 
 namespace {
 
 /**
- * fsync gate: durability is on unless MC_NO_FSYNC is set in the
- * environment (the test-suite escape hatch — thousands of tiny
- * checkpoint writes do not need to survive a power cut). Read once;
- * the gate cannot change mid-process.
+ * Transient-fault retry budget for the durability primitives: a
+ * flaky NFS epoch (ESTALE, EAGAIN) gets a few bounded, jittered
+ * chances before the fault is declared persistent and escapes as
+ * the typed IoError that quarantines the cell.
  */
-bool
-fsyncConfigured()
-{
-    const char *env = std::getenv("MC_NO_FSYNC");
-    return env == nullptr || *env == '\0' || *env == '0';
-}
+constexpr std::uint64_t kIoAttempts = 4;
 
-std::atomic<std::uint64_t> &
-fsyncCounter()
+/**
+ * Scratch path for one write attempt. The pid suffix keeps
+ * concurrent writer *processes* (campaign workers renewing leases,
+ * rewriting results) off each other's scratch files, and the
+ * sequence keeps concurrent *threads* — and successive retry
+ * attempts — apart. The rename is what serializes them.
+ */
+std::string
+scratchPath(const std::string &path)
 {
-    static std::atomic<std::uint64_t> count{0};
-    return count;
+    static std::atomic<std::uint64_t> seq{0};
+    return path + ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(seq.fetch_add(1));
 }
 
 /**
  * Durably persist the rename that published `path`: fsync its
  * containing directory, without which a power loss can forget the
  * directory entry even though the file's blocks reached the disk.
+ * Routed through the seam unconditionally — the MC_NO_FSYNC gate
+ * suppresses the syscall inside RealVfs, so fault injection still
+ * sees the site.
  */
 void
 fsyncParentDir(const std::string &path)
@@ -45,19 +50,58 @@ fsyncParentDir(const std::string &path)
     const std::size_t slash = path.find_last_of('/');
     const std::string dir =
         slash == std::string::npos ? "." : path.substr(0, slash);
-    const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
-                          O_RDONLY | O_DIRECTORY);
-    if (fd < 0) {
-        throw CkptError("'" + dir + "': cannot open directory for "
-                        "fsync: " + std::strerror(errno));
+    const std::string name = dir.empty() ? "/" : dir;
+    const int fd =
+        vfs().openFile(name, O_RDONLY | O_DIRECTORY, 0);
+    if (fd < 0)
+        throwIo(VfsOp::Open, name, fd);
+    const int sync_rc = vfs().fsyncFd(fd);
+    vfs().closeFd(fd);
+    if (sync_rc < 0)
+        throwIo(VfsOp::Fsync, name, sync_rc);
+}
+
+/** One write-then-rename attempt; throws IoError on any failure. */
+void
+atomicWriteOnce(const std::string &path, const void *data,
+                std::size_t size)
+{
+    const std::string tmp = scratchPath(path);
+    const int fd = vfs().openFile(
+        tmp, O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0)
+        throwIo(VfsOp::Open, tmp, fd);
+
+    std::size_t landed = 0;
+    long fail_rc = vfsWriteAll(fd, data, size, landed);
+    VfsOp fail_op = VfsOp::Write;
+    // fsync before rename: without it a crash after the rename can
+    // publish an empty or torn file under the final name, which
+    // torn-line tolerance downstream would then silently skip.
+    if (fail_rc == 0) {
+        const int sync_rc = vfs().fsyncFd(fd);
+        if (sync_rc < 0) {
+            fail_rc = sync_rc;
+            fail_op = VfsOp::Fsync;
+        }
     }
-    const bool ok = ::fsync(fd) == 0;
-    ::close(fd);
-    if (!ok) {
-        throw CkptError("'" + dir + "': directory fsync failed: " +
-                        std::strerror(errno));
+    const int close_rc = vfs().closeFd(fd);
+    if (fail_rc == 0 && close_rc < 0) {
+        // A swallowed close error is a swallowed write error on
+        // NFS (the flush happens at close); it must not pass.
+        fail_rc = close_rc;
+        fail_op = VfsOp::Close;
     }
-    fsyncCounter().fetch_add(1, std::memory_order_relaxed);
+    if (fail_rc != 0) {
+        vfs().unlinkPath(tmp); // scratch only; failure is benign
+        throwIo(fail_op, tmp, fail_rc);
+    }
+    const int ren_rc = vfs().renamePath(tmp, path);
+    if (ren_rc < 0) {
+        vfs().unlinkPath(tmp);
+        throwIo(VfsOp::Rename, path, ren_rc);
+    }
+    fsyncParentDir(path);
 }
 
 } // namespace
@@ -65,85 +109,56 @@ fsyncParentDir(const std::string &path)
 bool
 fsyncEnabled()
 {
-    static const bool enabled = fsyncConfigured();
-    return enabled;
+    return vfsFsyncEnabled();
 }
 
 std::uint64_t
 fsyncCount()
 {
-    return fsyncCounter().load(std::memory_order_relaxed);
-}
-
-int
-fsyncFile(std::FILE *file)
-{
-    if (std::fflush(file) != 0)
-        return -1;
-    if (!fsyncEnabled())
-        return 0;
-    const int result = ::fsync(::fileno(file));
-    if (result == 0)
-        fsyncCounter().fetch_add(1, std::memory_order_relaxed);
-    return result;
+    return vfsFsyncCount();
 }
 
 void
 atomicWriteFile(const std::string &path, const void *data,
                 std::size_t size)
 {
-    // The pid suffix keeps concurrent writer *processes* (campaign
-    // workers renewing leases, rewriting results) off each other's
-    // scratch files, and the sequence keeps concurrent *threads*
-    // apart — two claim threads of one worker can legitimately race
-    // to checkpoint the same cell after a stalled heartbeat let a
-    // sibling steal it. The rename is what serializes them.
-    static std::atomic<std::uint64_t> seq{0};
-    const std::string tmp = path + ".tmp." +
-                            std::to_string(::getpid()) + "." +
-                            std::to_string(seq.fetch_add(1));
-    std::FILE *file = std::fopen(tmp.c_str(), "wb");
-    if (!file)
-        throw CkptError("'" + tmp + "': cannot open for writing: " +
-                        std::strerror(errno));
-    bool ok = size == 0 || std::fwrite(data, 1, size, file) == size;
-    // fsync before rename: without it a crash after the rename can
-    // publish an empty or torn file under the final name, which
-    // torn-line tolerance downstream would then silently skip.
-    ok = fsyncFile(file) == 0 && ok;
-    ok = std::fclose(file) == 0 && ok;
-    if (!ok) {
-        std::remove(tmp.c_str());
-        throw CkptError("'" + tmp + "': short write: " +
-                        std::strerror(errno));
+    // Bounded transient retry with the campaign backoff schedule,
+    // keyed by path so concurrent writers jitter apart. Each
+    // attempt uses a fresh scratch file: whatever a failed attempt
+    // left behind is unlinked and never renamed, so the destination
+    // is only ever complete-old or complete-new bytes.
+    const std::uint64_t id = fnv1a64(path.data(), path.size());
+    for (std::uint64_t attempt = 1;; ++attempt) {
+        try {
+            atomicWriteOnce(path, data, size);
+            return;
+        } catch (const IoError &err) {
+            if (!err.transient() || attempt >= kIoAttempts)
+                throw;
+            vfs().sleepMs(retryDelayMs(id, 0, attempt));
+        }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        throw CkptError("'" + tmp + "': cannot rename to '" + path +
-                        "': " + std::strerror(errno));
-    }
-    if (fsyncEnabled())
-        fsyncParentDir(path);
+}
+
+void
+atomicWriteFileWithRotation(const std::string &path,
+                            const void *data, std::size_t size)
+{
+    // Rotate the previous consistent file into the fallback slot.
+    // ENOENT is the chain's first write and benign; any other
+    // failure surfaces *before* the old chain is disturbed, so the
+    // caller still has a complete checkpoint on disk.
+    const std::string prev = path + ".prev";
+    const int rot_rc = vfs().renamePath(path, prev);
+    if (rot_rc < 0 && rot_rc != -ENOENT)
+        throwIo(VfsOp::Rename, prev, rot_rc);
+    atomicWriteFile(path, data, size);
 }
 
 std::vector<std::uint8_t>
 readFileBytes(const std::string &path)
 {
-    std::FILE *file = std::fopen(path.c_str(), "rb");
-    if (!file)
-        throw CkptError("'" + path + "': cannot open: " +
-                        std::strerror(errno));
-    std::vector<std::uint8_t> bytes;
-    std::uint8_t chunk[65536];
-    std::size_t got = 0;
-    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
-        bytes.insert(bytes.end(), chunk, chunk + got);
-    const bool readError = std::ferror(file) != 0;
-    std::fclose(file);
-    if (readError)
-        throw CkptError("'" + path + "': read error: " +
-                        std::strerror(errno));
-    return bytes;
+    return vfsReadWholeFile(path);
 }
 
 } // namespace morphcache

@@ -13,13 +13,17 @@
  * pattern as TraceReader in src/workload/trace.cc).
  *
  * atomicWriteFile() is the sanctioned durability primitive: write to
- * `<path>.tmp.<pid>`, flush + fsync, std::rename() over the
- * destination, then fsync the containing directory — so a crash (or
- * power loss) mid-write leaves either the old file or the new one,
- * never a torn hybrid and never an empty rename ghost. mc_lint's
- * `atomic-write` rule enforces that src/ file writes go through it
- * (or a sanctioned streaming sink). Setting MC_NO_FSYNC in the
- * environment skips the fsyncs (test-suite escape hatch).
+ * `<path>.tmp.<pid>.<seq>`, fsync, rename over the destination, then
+ * fsync the containing directory — so a crash (or power loss)
+ * mid-write leaves either the old file or the new one, never a torn
+ * hybrid and never an empty rename ghost. Every byte moves through
+ * the virtual filesystem seam (src/io/vfs.hh), so fault injection
+ * reaches each syscall; transient faults (EINTR/EAGAIN/ESTALE/...)
+ * are retried a bounded number of times with seeded-jitter backoff,
+ * persistent ones (ENOSPC/EIO/...) surface as a typed IoError.
+ * mc_lint's `atomic-write` rule enforces that src/ file writes go
+ * through it (or a sanctioned streaming sink). Setting MC_NO_FSYNC
+ * in the environment skips the fsyncs (test-suite escape hatch).
  */
 
 #ifndef MORPHCACHE_COMMON_SERIAL_HH
@@ -28,7 +32,6 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -326,15 +329,31 @@ class CkptReader
 
 /**
  * Durably write `size` bytes to `path` via write-then-rename: the
- * data lands in `<path>.tmp.<pid>` first (pid-unique, so concurrent
- * worker processes never share a scratch file) and is renamed over
- * the destination only after a successful flush + fsync; the
+ * data lands in `<path>.tmp.<pid>.<seq>` first (pid-unique, so
+ * concurrent worker processes never share a scratch file) and is
+ * renamed over the destination only after a successful fsync; the
  * containing directory is fsynced after the rename so the entry
- * itself survives power loss. Readers never see a torn file. Throws
- * CkptError on any I/O failure.
+ * itself survives power loss. Readers never see a torn file.
+ * Transient filesystem faults are retried (fresh scratch file per
+ * attempt, bounded seeded-jitter backoff via retryDelayMs);
+ * anything else throws a typed IoError (a CkptError subclass, so
+ * existing handlers keep working).
  */
 void atomicWriteFile(const std::string &path, const void *data,
                      std::size_t size);
+
+/**
+ * atomicWriteFile plus the checkpoint-chain rotation: the current
+ * `path` (if any) is first renamed to `<path>.prev`, then the new
+ * bytes land atomically under `path`. A missing current file is
+ * benign (first write of the chain); a failed rotation is a typed
+ * IoError *before* any byte of the old chain is disturbed, and a
+ * failed write after a successful rotation still leaves `.prev`
+ * for restoreCheckpointChain to fall back on.
+ */
+void atomicWriteFileWithRotation(const std::string &path,
+                                 const void *data,
+                                 std::size_t size);
 
 /**
  * Whether fsync-backed durability is active (true unless the
@@ -349,19 +368,18 @@ bool fsyncEnabled();
  */
 std::uint64_t fsyncCount();
 
-/**
- * Flush `file` and fsync it (subject to the MC_NO_FSYNC gate).
- * Returns 0 on success, -1 with errno set on failure. For the
- * sanctioned streaming appenders (campaign manifest) that cannot
- * use write-then-rename.
- */
-int fsyncFile(std::FILE *file);
-
 inline void
 atomicWriteFile(const std::string &path,
                 const std::vector<std::uint8_t> &bytes)
 {
     atomicWriteFile(path, bytes.data(), bytes.size());
+}
+
+inline void
+atomicWriteFileWithRotation(const std::string &path,
+                            const std::vector<std::uint8_t> &bytes)
+{
+    atomicWriteFileWithRotation(path, bytes.data(), bytes.size());
 }
 
 /**

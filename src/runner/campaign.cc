@@ -1,10 +1,8 @@
 #include "runner/campaign.hh"
 
-#include <sys/stat.h>
-
 #include <atomic>
+#include <cerrno>
 #include <chrono>
-#include <cstdio>
 #include <functional>
 #include <thread>
 
@@ -12,6 +10,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/serial.hh"
+#include "io/vfs.hh"
 #include "perf/clock.hh"
 #include "runner/executor.hh"
 #include "runner/sweep.hh"
@@ -116,7 +115,9 @@ runCampaign(const std::vector<CampaignCell> &cells,
     ctx.outcomes.resize(cells.size());
     ctx.progress.assign(cells.size(), CellProgress{});
     ctx.hash = campaignHash(cells);
-    ::mkdir(ctx.dir.c_str(), 0777); // EEXIST is the resume case
+    const int mk_rc = vfs().mkdirPath(ctx.dir);
+    if (mk_rc < 0 && mk_rc != -EEXIST) // EEXIST is the resume case
+        throwIo(VfsOp::Mkdir, ctx.dir, mk_rc);
 
     if (opts.resume) {
         ctx.progress =
@@ -131,11 +132,21 @@ runCampaign(const std::vector<CampaignCell> &cells,
             // Clear any stale state a previous campaign under the
             // same manifest path left behind, so cells never
             // restore from another campaign's checkpoints, results,
-            // or leases.
-            std::remove(cellCkptPath(ctx.dir, i).c_str());
-            std::remove((cellCkptPath(ctx.dir, i) + ".prev").c_str());
-            std::remove(cellResultPath(ctx.dir, i).c_str());
-            std::remove(cellLeasePath(ctx.dir, i).c_str());
+            // or leases. ENOENT is the common case (nothing there);
+            // any other failure means the stale file *survived* and
+            // could later masquerade as this campaign's state, so it
+            // must be a typed error, not a shrug.
+            const std::string stale[] = {
+                cellCkptPath(ctx.dir, i),
+                cellCkptPath(ctx.dir, i) + ".prev",
+                cellResultPath(ctx.dir, i),
+                cellLeasePath(ctx.dir, i),
+            };
+            for (const std::string &path : stale) {
+                const int rm_rc = vfs().unlinkPath(path);
+                if (rm_rc < 0 && rm_rc != -ENOENT)
+                    throwIo(VfsOp::Unlink, path, rm_rc);
+            }
         }
         atomicWriteFile(opts.manifestPath, doc.data(), doc.size());
     }

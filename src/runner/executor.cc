@@ -197,6 +197,27 @@ struct ExecutorCtx
 };
 
 /**
+ * Append a manifest event, absorbing I/O failure into a warning. In
+ * the executor the manifest is a progress journal, not ground truth
+ * (result files are), and an append failure must not unwind a claim
+ * thread mid-lease — the worker keeps driving the cell and the only
+ * cost of the lost event is attempt-count freshness for a future
+ * reclaimer.
+ */
+void
+appendQuiet(ExecutorCtx &ctx, std::size_t index, const char *status,
+            std::uint64_t attempts)
+{
+    try {
+        ctx.log.appendCell(index, status, attempts);
+    } catch (const CkptError &err) {
+        warn("worker %s: manifest append (cell %zu -> %s) "
+             "failed: %s",
+             ctx.opts.workerId.c_str(), index, status, err.what());
+    }
+}
+
+/**
  * Drive one claimed cell through its retry budget. The lease stays
  * held throughout (the heartbeat thread renews it); it is released
  * only after the result is durable or on interrupt. Never throws —
@@ -232,7 +253,7 @@ driveClaimedCell(ExecutorCtx &ctx, std::size_t index,
             ctx.interrupted = true;
             break;
         }
-        ctx.log.appendCell(index, "running", attempts);
+        appendQuiet(ctx, index, "running", attempts);
         ctx.held.setAttempts(index, attempts);
         try {
             CellOutcome o = runCellAttempt(
@@ -242,7 +263,7 @@ driveClaimedCell(ExecutorCtx &ctx, std::size_t index,
                                    ctx.opts.wantStatsJson});
             o.attempts = attempts + 1;
             if (commit(o)) {
-                ctx.log.appendCell(index, "done", attempts + 1);
+                appendQuiet(ctx, index, "done", attempts + 1);
                 ++ctx.completed;
             }
             break;
@@ -254,7 +275,7 @@ driveClaimedCell(ExecutorCtx &ctx, std::size_t index,
             break;
         } catch (const std::exception &err) {
             ++attempts;
-            ctx.log.appendCell(index, "failed", attempts);
+            appendQuiet(ctx, index, "failed", attempts);
             ctx.held.setAttempts(index, attempts);
             warn("campaign cell %zu (%s) try %llu failed: %s",
                  index, cell.label.c_str(),

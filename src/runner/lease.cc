@@ -1,5 +1,6 @@
 #include "runner/lease.hh"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -11,6 +12,7 @@
 
 #include "common/error.hh"
 #include "common/serial.hh"
+#include "io/vfs.hh"
 #include "runner/manifest.hh"
 
 namespace morphcache {
@@ -71,17 +73,38 @@ parseLease(const std::string &text, LeaseInfo &out)
 LeaseRead
 readLease(const std::string &path, LeaseInfo &out)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return LeaseRead::Missing;
+    const int fd = vfs().openFile(path, O_RDONLY, 0);
+    if (fd < 0) {
+        // errno-precise: only "the file is genuinely gone" maps to
+        // Missing — ENOENT (deleted between a claim scan or reap
+        // pass and this open; the benign readdir/open race) and
+        // ESTALE (NFS forgot the handle for the same reason). Any
+        // other open failure means a lease file exists but cannot
+        // be read right now; reporting that as Missing would send
+        // the claimer down the fresh-claim link(2) path against a
+        // live lease, so it is Corrupt — claimed via the
+        // generation-bumping reclaim, which fencing makes safe.
+        if (fd == -ENOENT || fd == -ESTALE)
+            return LeaseRead::Missing;
+        return LeaseRead::Corrupt;
+    }
     std::string text;
     char chunk[1024];
-    std::size_t got = 0;
-    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
-        text.append(chunk, got);
-    const bool readError = std::ferror(f) != 0;
-    std::fclose(f);
-    if (readError || !parseLease(text, out))
+    bool read_error = false;
+    while (true) {
+        const long got = vfs().readFd(fd, chunk, sizeof(chunk));
+        if (got == -EINTR)
+            continue;
+        if (got < 0) {
+            read_error = true;
+            break;
+        }
+        if (got == 0)
+            break;
+        text.append(chunk, static_cast<std::size_t>(got));
+    }
+    vfs().closeFd(fd);
+    if (read_error || !parseLease(text, out))
         return LeaseRead::Corrupt;
     return LeaseRead::Valid;
 }
@@ -109,21 +132,16 @@ void
 writeLeaseScratch(const std::string &scratch,
                   const std::string &doc)
 {
-    std::FILE *f = std::fopen(scratch.c_str(), "wb");
-    if (!f) {
-        throw LeaseError("'" + scratch +
-                         "': cannot open lease scratch file: " +
-                         std::strerror(errno));
-    }
-    bool ok = std::fwrite(doc.data(), 1, doc.size(), f) ==
-              doc.size();
-    ok = fsyncFile(f) == 0 && ok;
-    ok = std::fclose(f) == 0 && ok;
-    if (!ok) {
-        std::remove(scratch.c_str());
-        throw LeaseError("'" + scratch +
-                         "': short lease write: " +
-                         std::strerror(errno));
+    // The lease API's contract is LeaseError (the executor catches
+    // it to fall back to the next cell), so the seam's typed IoError
+    // is wrapped rather than propagated.
+    try {
+        vfsWriteWholeFile(scratch, doc.data(), doc.size(),
+                          /*want_fsync=*/true);
+    } catch (const IoError &err) {
+        vfs().unlinkPath(scratch); // best effort; scratch only
+        throw LeaseError(std::string("lease scratch write failed: ") +
+                         err.what());
     }
 }
 
@@ -132,10 +150,11 @@ bool
 installAndVerify(const std::string &scratch,
                  const std::string &path, const LeaseInfo &mine)
 {
-    if (std::rename(scratch.c_str(), path.c_str()) != 0) {
-        std::remove(scratch.c_str());
+    const int ren_rc = vfs().renamePath(scratch, path);
+    if (ren_rc < 0) {
+        vfs().unlinkPath(scratch);
         throw LeaseError("'" + scratch + "': cannot rename to '" +
-                         path + "': " + std::strerror(errno));
+                         path + "': " + std::strerror(-ren_rc));
     }
     // Read-back verification: concurrent reclaimers all rename
     // over the same path; the file holds the last writer, and only
@@ -177,15 +196,14 @@ tryClaimCell(const std::string &dir, std::size_t index,
         mine.generation = 1;
         const std::string scratch = leaseScratchPath(path);
         writeLeaseScratch(scratch, serializeLease(mine));
-        const int linked = ::link(scratch.c_str(), path.c_str());
-        const int link_errno = errno;
-        std::remove(scratch.c_str());
-        if (linked == 0)
+        const int link_rc = vfs().linkPath(scratch, path);
+        vfs().unlinkPath(scratch);
+        if (link_rc == 0)
             return LeaseClaim::Claimed;
-        if (link_errno == EEXIST)
+        if (link_rc == -EEXIST)
             return LeaseClaim::Raced;
         throw LeaseError("'" + path + "': cannot link lease: " +
-                         std::strerror(link_errno));
+                         std::strerror(-link_rc));
     }
 
     if (state == LeaseRead::Valid &&
@@ -242,7 +260,7 @@ void
 releaseLease(const std::string &dir, const LeaseInfo &mine)
 {
     if (leaseStillMine(dir, mine))
-        std::remove(cellLeasePath(dir, mine.index).c_str());
+        vfs().unlinkPath(cellLeasePath(dir, mine.index));
 }
 
 void
@@ -274,7 +292,7 @@ reapStaleLeases(const std::string &dir, std::size_t num_cells)
         const bool finished = fileExists(cellResultPath(dir, i));
         const bool stale = state == LeaseRead::Corrupt ||
                            lease.deadline < now;
-        if ((finished || stale) && std::remove(path.c_str()) == 0)
+        if ((finished || stale) && vfs().unlinkPath(path) == 0)
             ++removed;
     }
     return removed;

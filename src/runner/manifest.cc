@@ -1,15 +1,16 @@
 #include "runner/manifest.hh"
 
-#include <sys/stat.h>
+#include <fcntl.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/error.hh"
 #include "common/logging.hh"
-#include "common/rng.hh"
 #include "common/serial.hh"
+#include "io/vfs.hh"
 #include "perf/clock.hh"
 #include "runner/sweep.hh"
 
@@ -149,8 +150,7 @@ cellLeasePath(const std::string &dir, std::size_t i)
 bool
 fileExists(const std::string &path)
 {
-    struct stat st;
-    return ::stat(path.c_str(), &st) == 0;
+    return vfs().existsPath(path);
 }
 
 std::string
@@ -233,6 +233,34 @@ manifestHeaderLine(std::size_t cells, std::uint64_t hash,
     return line;
 }
 
+namespace {
+
+/**
+ * Defense against merged torn lines. Every sanctioned manifest
+ * writer emits whole `{"type":...}\n` records, but a writer that
+ * died after a *partial* write leaves a torn prefix with no
+ * newline — and the next append then shares its line: the torn
+ * bytes followed by a complete record. Parsing such a merged line
+ * naively is worse than skipping it: the field extractors take the
+ * *first* occurrence of a key, so the torn prefix's "index" and
+ * the complete suffix's "status" would combine into a phantom
+ * event that was never written. The bytes after the *last*
+ * record marker in a newline-terminated line always belong to the
+ * single O_APPEND write that supplied the newline, so parsing from
+ * there recovers the one complete record and discards the torn
+ * prefix.
+ */
+std::string
+manifestEventPayload(const std::string &line)
+{
+    const std::size_t mark = line.rfind("{\"type\":");
+    return mark == std::string::npos || mark == 0
+               ? line
+               : line.substr(mark);
+}
+
+} // namespace
+
 std::vector<CellProgress>
 foldManifest(const std::string &path, std::size_t num_cells,
              std::uint64_t hash)
@@ -252,7 +280,8 @@ foldManifest(const std::string &path, std::size_t num_cells,
                  path.c_str());
             break;
         }
-        const std::string line = text.substr(at, nl - at);
+        const std::string line =
+            manifestEventPayload(text.substr(at, nl - at));
         at = nl + 1;
 
         std::string type;
@@ -329,27 +358,74 @@ ManifestLog::appendCell(std::size_t index, const char *status,
     line += stamp;
     line += "}\n";
     std::lock_guard<std::mutex> lock(mutex_);
-    // Append-only event log: a single buffered write per event,
-    // fsynced before close, so a crash tears at most the last line
-    // (which the fold ignores). The write-rename helper cannot be
-    // used here — rewriting the log on every event would turn the
-    // manifest into an O(events^2) hot path, lose the history a
-    // concurrent crash-time reader depends on, and clobber events
-    // other worker processes appended in the meantime. O_APPEND
-    // keeps cross-process appends whole.
-    std::FILE *f = std::fopen(path_.c_str(), "ab");
-    if (!f) {
-        throw CkptError("cannot append to campaign manifest '" +
-                        path_ + "'");
-    }
-    const bool ok =
-        std::fwrite(line.data(), 1, line.size(), f) ==
-            line.size() &&
-        fsyncFile(f) == 0;
-    std::fclose(f);
-    if (!ok) {
-        throw CkptError("error appending to campaign manifest '" +
-                        path_ + "'");
+    // Append-only event log: one write per event, fsynced before
+    // close, so a crash tears at most the last line (which the
+    // fold ignores). The write-rename helper cannot be used here —
+    // rewriting the log on every event would turn the manifest
+    // into an O(events^2) hot path, lose the history a concurrent
+    // crash-time reader depends on, and clobber events other
+    // worker processes appended in the meantime. O_APPEND keeps
+    // cross-process appends whole.
+    //
+    // Retry policy is asymmetric by design: a failure with zero
+    // bytes landed (open failure, clean first-write error) retries
+    // like any transient fault, but once *any* byte of the record
+    // is in the log, retrying the whole record would interleave
+    // with the torn prefix into a merged line — so partial
+    // failures escape immediately as a persistent IoError and the
+    // torn tail is left for manifestEventPayload to discard.
+    const std::uint64_t id =
+        fnv1a64(path_.data(), path_.size());
+    for (std::uint64_t attempt = 1;; ++attempt) {
+        const int fd = vfs().openFile(
+            path_, O_WRONLY | O_APPEND | O_CREAT, 0666);
+        if (fd < 0) {
+            if (errnoIsTransient(-fd) && attempt < 4) {
+                vfs().sleepMs(retryDelayMs(id, index, attempt));
+                continue;
+            }
+            throwIo(VfsOp::Open, path_, fd);
+        }
+        std::size_t landed = 0;
+        long fail_rc =
+            vfsWriteAll(fd, line.data(), line.size(), landed);
+        VfsOp fail_op = VfsOp::Write;
+        if (fail_rc == 0) {
+            const int sync_rc = vfs().fsyncFd(fd);
+            if (sync_rc < 0) {
+                fail_rc = sync_rc;
+                fail_op = VfsOp::Fsync;
+            }
+        }
+        const int close_rc = vfs().closeFd(fd);
+        if (fail_rc == 0 && close_rc < 0) {
+            fail_rc = close_rc;
+            fail_op = VfsOp::Close;
+        }
+        if (fail_rc == 0)
+            return;
+        const bool retriable = landed == 0 &&
+                               fail_op == VfsOp::Write &&
+                               errnoIsTransient(
+                                   static_cast<int>(-fail_rc));
+        if (retriable && attempt < 4) {
+            vfs().sleepMs(retryDelayMs(id, index, attempt));
+            continue;
+        }
+        // Partial writes and fsync/close failures are never
+        // retried: the record may be (partly) in the log already.
+        throw IoError(
+            "'" + path_ + "': manifest append " +
+                vfsOpName(fail_op) + " failed" +
+                (landed != 0 && landed < line.size()
+                     ? " after " + std::to_string(landed) +
+                           " of " + std::to_string(line.size()) +
+                           " bytes (torn tail line left for the "
+                           "fold to discard)"
+                     : "") +
+                ": " +
+                std::strerror(static_cast<int>(-fail_rc)),
+            static_cast<int>(-fail_rc), false);
     }
 }
 
@@ -399,7 +475,8 @@ foldManifestTiming(const std::string &path)
         const std::size_t nl = text.find('\n', at);
         if (nl == std::string::npos)
             break; // torn final line: no timing either
-        const std::string line = text.substr(at, nl - at);
+        const std::string line =
+            manifestEventPayload(text.substr(at, nl - at));
         at = nl + 1;
 
         std::string type;
@@ -439,26 +516,6 @@ foldManifestTiming(const std::string &path)
             timing.lastDoneT = t;
     }
     return timing;
-}
-
-std::uint64_t
-retryDelayMs(std::uint64_t campaign_hash, std::uint64_t cell_index,
-             std::uint64_t attempt)
-{
-    const std::uint64_t shift =
-        attempt - 1 < 10 ? attempt - 1 : 10;
-    std::uint64_t base = 100ULL << shift;
-    if (base > 2000)
-        base = 2000;
-    // Seeded deterministic jitter into [base/2, base]: distinct
-    // multipliers keep (index, attempt) pairs from aliasing, and
-    // the SplitMix64 finalizer decorrelates neighbouring cells.
-    std::uint64_t state = campaign_hash ^
-                          (cell_index * 0x9e3779b97f4a7c15ULL) ^
-                          (attempt * 0xbf58476d1ce4e5b9ULL);
-    const std::uint64_t draw = splitMix64(state);
-    const std::uint64_t half = base / 2;
-    return half + draw % (half + 1);
 }
 
 namespace {
@@ -651,7 +708,9 @@ initManifestWithPlan(const std::string &path,
     if (cellList.empty())
         throw ConfigError("campaign plan generates no cells");
     const std::string dir = campaignStateDir(path);
-    ::mkdir(dir.c_str(), 0777); // EEXIST is fine
+    const int mk_rc = vfs().mkdirPath(dir);
+    if (mk_rc < 0 && mk_rc != -EEXIST)
+        throwIo(VfsOp::Mkdir, dir, mk_rc);
 
     std::string doc = manifestHeaderLine(
         cellList.size(), campaignHash(cellList), unixNowSec());
@@ -661,11 +720,13 @@ initManifestWithPlan(const std::string &path,
                ",\"status\":\"pending\",\"attempts\":0}\n";
         // Clear any stale state a previous campaign under the same
         // manifest path left behind, so cells never restore from
-        // another campaign's checkpoints or leases.
-        std::remove(cellCkptPath(dir, i).c_str());
-        std::remove((cellCkptPath(dir, i) + ".prev").c_str());
-        std::remove(cellResultPath(dir, i).c_str());
-        std::remove(cellLeasePath(dir, i).c_str());
+        // another campaign's checkpoints or leases. A missing file
+        // is the normal case; anything else is best-effort here
+        // and caught by the hash check when the cell first runs.
+        vfs().unlinkPath(cellCkptPath(dir, i));
+        vfs().unlinkPath(cellCkptPath(dir, i) + ".prev");
+        vfs().unlinkPath(cellResultPath(dir, i));
+        vfs().unlinkPath(cellLeasePath(dir, i));
     }
     atomicWriteFile(path, doc.data(), doc.size());
 }

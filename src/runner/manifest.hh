@@ -38,6 +38,10 @@
 #include <string>
 #include <vector>
 
+// retryDelayMs (the campaign retry-backoff schedule) lives in
+// common/rng.hh so the durability primitives can reuse it; the
+// runner's callers keep reaching it through this header.
+#include "common/rng.hh"
 #include "ckpt/run_spec.hh"
 
 namespace morphcache {
@@ -175,7 +179,12 @@ class ManifestLog
 
     /**
      * Append one cell status event, stamped with the worker id (if
-     * set) and the civil time; throws CkptError on I/O failure.
+     * set) and the civil time; throws a typed IoError on I/O
+     * failure. Failures with zero bytes landed retry with bounded
+     * seeded-jitter backoff; once any byte of the record is in the
+     * log, the append never retries (a re-append would merge with
+     * the torn prefix into one line) and the fold's
+     * last-record-marker parse discards the torn bytes instead.
      * Stamps ride as extra fields the fold ignores, so merged
      * report bytes stay schedule-independent.
      */
@@ -231,25 +240,6 @@ struct ManifestTiming
  * skipped silently, and nothing here feeds deterministic output.
  */
 ManifestTiming foldManifestTiming(const std::string &path);
-
-// ---------------------------------------------------------------
-// Retry backoff
-// ---------------------------------------------------------------
-
-/**
- * Delay before retry number `attempt` (1-based) of cell
- * `cellIndex`: bounded exponential backoff (100 ms * 2^(attempt-1),
- * capped at 2 s) with seeded deterministic jitter — a SplitMix64
- * draw over (campaign hash, cell index, attempt) maps the delay
- * into [base/2, base]. M workers retrying the same flaky
- * shared-filesystem epoch therefore spread out instead of
- * thundering back in lockstep, yet the schedule is a pure function
- * of campaign identity, so reruns and resumes see identical
- * delays and output bytes never depend on wall time.
- */
-std::uint64_t retryDelayMs(std::uint64_t campaign_hash,
-                           std::uint64_t cell_index,
-                           std::uint64_t attempt);
 
 // ---------------------------------------------------------------
 // Report rendering

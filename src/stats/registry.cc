@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "io/vfs.hh"
 
 namespace morphcache {
 
@@ -51,12 +52,13 @@ jsonEscape(const std::string &s)
 void
 writeString(const std::string &path, const std::string &body)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("cannot open '%s' for writing", path.c_str());
-    std::fwrite(body.data(), 1, body.size(), f);
-    if (std::fclose(f) != 0)
-        fatal("error writing '%s'", path.c_str());
+    // Stats dumps are end-of-run artifacts a caller re-renders from
+    // the run itself, not recovery state — no fsync, but write and
+    // close failures surface as typed IoErrors instead of being
+    // swallowed (a partial JSON dump parsing as truncated-but-valid
+    // is worse than no dump).
+    vfsWriteWholeFile(path, body.data(), body.size(),
+                      /*want_fsync=*/false);
 }
 
 } // namespace

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "io/vfs.hh"
 
 namespace morphcache {
 
@@ -62,13 +63,11 @@ void
 writeCsv(const std::string &path, const std::vector<Series> &series,
          const CsvMeta *meta)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("cannot open '%s' for writing", path.c_str());
     const std::string body = csvString(series, meta);
-    std::fwrite(body.data(), 1, body.size(), f);
-    if (std::fclose(f) != 0)
-        fatal("error writing '%s'", path.c_str());
+    // Typed IoError on any write/close failure; no fsync (report
+    // artifacts are re-derivable, unlike checkpoints and leases).
+    vfsWriteWholeFile(path, body.data(), body.size(),
+                      /*want_fsync=*/false);
 }
 
 std::string

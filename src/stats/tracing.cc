@@ -1,12 +1,14 @@
 #include "stats/tracing.hh"
 
-#include <unistd.h>
+#include <fcntl.h>
 
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
 
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "io/vfs.hh"
 
 namespace morphcache {
 
@@ -97,14 +99,27 @@ appendFields(std::string &out, const TraceEvent &ev)
     }
 }
 
-std::FILE *
-openForWrite(const std::string &path)
+int
+openForWrite(const std::string &path, int flags)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("cannot open trace file '%s' for writing",
-              path.c_str());
-    return f;
+    const int fd = vfs().openFile(path, flags, 0666);
+    if (fd < 0)
+        throwIo(VfsOp::Open, path, fd);
+    return fd;
+}
+
+/** Write all of `data`; advances `off` by what landed even when the
+ * write fails, so a recorded resume offset never points past the
+ * bytes actually on disk. */
+void
+writeOrThrow(int fd, const std::string &path, const char *data,
+             std::size_t n, std::uint64_t &off)
+{
+    std::size_t landed = 0;
+    const long rc = vfsWriteAll(fd, data, n, landed);
+    off += landed;
+    if (rc != 0)
+        throwIo(VfsOp::Write, path, rc);
 }
 
 } // namespace
@@ -128,70 +143,78 @@ traceEventJson(const TraceEvent &ev)
 // --- JSONL sink -------------------------------------------------
 
 JsonlTraceSink::JsonlTraceSink(const std::string &path)
-    : file_(openForWrite(path))
+    : path_(path),
+      fd_(openForWrite(path, O_WRONLY | O_CREAT | O_TRUNC))
 {
 }
 
 JsonlTraceSink::JsonlTraceSink(const std::string &path,
                                std::uint64_t resume_offset)
-    : file_(nullptr)
+    : path_(path)
 {
-    if (::truncate(path.c_str(), static_cast<off_t>(resume_offset)) != 0) {
-        fatal("cannot truncate trace file '%s' to resume offset %llu",
-              path.c_str(),
-              static_cast<unsigned long long>(resume_offset));
-    }
-    file_ = std::fopen(path.c_str(), "ab");
-    if (!file_)
-        fatal("cannot reopen trace file '%s' for resume",
-              path.c_str());
-}
-
-std::uint64_t
-JsonlTraceSink::byteOffset() const
-{
-    if (!file_)
-        return 0;
-    std::fflush(file_);
-    const long pos = std::ftell(file_);
-    if (pos < 0)
-        fatal("cannot read trace file offset");
-    return static_cast<std::uint64_t>(pos);
+    // Truncate before opening for write: if the truncate fails the
+    // typed error escapes with the pre-resume file untouched, and
+    // the caller can surface it without having torn anything.
+    const int trunc_rc = vfs().truncatePath(path, resume_offset);
+    if (trunc_rc < 0)
+        throwIo(VfsOp::Truncate, path, trunc_rc);
+    fd_ = openForWrite(path, O_WRONLY | O_APPEND);
+    offset_ = resume_offset;
 }
 
 JsonlTraceSink::~JsonlTraceSink()
 {
-    finish();
+    try {
+        finish();
+    } catch (const IoError &err) {
+        // Destructors must not throw; callers that need the close
+        // error (a deferred NFS flush failure) call finish() first.
+        warn("trace sink close failed: %s", err.what());
+    }
 }
 
 void
 JsonlTraceSink::event(const TraceEvent &ev)
 {
-    const std::string line = traceEventJson(ev);
-    std::fwrite(line.data(), 1, line.size(), file_);
-    std::fputc('\n', file_);
+    std::string line = traceEventJson(ev);
+    line += '\n';
+    writeOrThrow(fd_, path_, line.data(), line.size(), offset_);
 }
 
 void
 JsonlTraceSink::finish()
 {
-    if (file_) {
-        std::fclose(file_);
-        file_ = nullptr;
-    }
+    if (fd_ < 0)
+        return;
+    const int rc = vfs().closeFd(fd_);
+    fd_ = -1;
+    if (rc < 0)
+        throwIo(VfsOp::Close, path_, rc);
 }
 
 // --- Chrome trace-event sink ------------------------------------
 
 ChromeTraceSink::ChromeTraceSink(const std::string &path)
-    : file_(openForWrite(path))
+    : path_(path),
+      fd_(openForWrite(path, O_WRONLY | O_CREAT | O_TRUNC))
 {
-    std::fputs("[\n", file_);
+    std::uint64_t off = 0;
+    try {
+        writeOrThrow(fd_, path_, "[\n", 2, off);
+    } catch (const IoError &) {
+        vfs().closeFd(fd_);
+        fd_ = -1;
+        throw;
+    }
 }
 
 ChromeTraceSink::~ChromeTraceSink()
 {
-    finish();
+    try {
+        finish();
+    } catch (const IoError &err) {
+        warn("trace sink close failed: %s", err.what());
+    }
 }
 
 void
@@ -210,7 +233,8 @@ ChromeTraceSink::event(const TraceEvent &ev)
     appendU64(out, ev.seq);
     appendFields(out, ev);
     out += "}}";
-    std::fwrite(out.data(), 1, out.size(), file_);
+    std::uint64_t off = 0;
+    writeOrThrow(fd_, path_, out.data(), out.size(), off);
 }
 
 void
@@ -219,11 +243,16 @@ ChromeTraceSink::finish()
     if (finished_)
         return;
     finished_ = true;
-    if (file_) {
-        std::fputs("\n]\n", file_);
-        std::fclose(file_);
-        file_ = nullptr;
-    }
+    if (fd_ < 0)
+        return;
+    std::size_t landed = 0;
+    const long tail_rc = vfsWriteAll(fd_, "\n]\n", 3, landed);
+    const int close_rc = vfs().closeFd(fd_);
+    fd_ = -1;
+    if (tail_rc != 0)
+        throwIo(VfsOp::Write, path_, tail_rc);
+    if (close_rc < 0)
+        throwIo(VfsOp::Close, path_, close_rc);
 }
 
 // --- String sink ------------------------------------------------

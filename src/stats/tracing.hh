@@ -168,31 +168,45 @@ class Tracer
 class JsonlTraceSink : public TraceSink
 {
   public:
-    /** Opens `path` for writing; fatal() on failure. */
+    /** Opens `path` for writing; typed IoError on failure. */
     explicit JsonlTraceSink(const std::string &path);
 
     /**
      * Resume an interrupted trace: truncate `path` to
      * `resume_offset` bytes (the offset a checkpoint recorded) and
      * append from there, discarding any events written after the
-     * checkpoint was taken. fatal() on failure.
+     * checkpoint was taken. A truncate failure surfaces as a typed
+     * IoError *before* the file is opened for writing, so the
+     * pre-resume bytes stay exactly as the checkpoint left them.
      */
     JsonlTraceSink(const std::string &path,
                    std::uint64_t resume_offset);
 
     ~JsonlTraceSink() override;
 
+    /** Appends one line; typed IoError on write failure. */
     void event(const TraceEvent &ev) override;
+
+    /**
+     * Close the file; typed IoError on close failure (a deferred
+     * flush error on NFS surfaces here). The destructor calls this
+     * too but demotes the error to a warning — callers that need
+     * the error call finish() themselves.
+     */
     void finish() override;
 
     /**
-     * Flush and report the current file byte offset — the value a
-     * checkpoint stores so resume can truncate back to it.
+     * The tracked file byte offset — the value a checkpoint stores
+     * so resume can truncate back to it. Bytes that reached the fd
+     * before a failed write still count, so the recorded offset
+     * never points past what is on disk.
      */
-    std::uint64_t byteOffset() const;
+    std::uint64_t byteOffset() const { return offset_; }
 
   private:
-    std::FILE *file_;
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t offset_ = 0;
 };
 
 /**
@@ -207,10 +221,14 @@ class ChromeTraceSink : public TraceSink
     ~ChromeTraceSink() override;
 
     void event(const TraceEvent &ev) override;
+
+    /** Write the JSON trailer and close; typed IoError on failure
+     * (demoted to a warning when invoked from the destructor). */
     void finish() override;
 
   private:
-    std::FILE *file_;
+    std::string path_;
+    int fd_ = -1;
     bool first_ = true;
     bool finished_ = false;
 };

@@ -46,18 +46,29 @@ the repo's source conventions over ``src/``:
     write-then-rename helper (``atomicWriteFile`` in
     ``src/common/serial.cc``) or a sanctioned streaming sink
     (stats/report/trace writers, the append-only campaign
-    manifest). A plain ``fopen(..., "w")`` elsewhere can leave a
+    manifest) — all of which bottom out in the Vfs seam
+    (``src/io/vfs.cc``, the only file allowed to open for
+    writing). A plain ``fopen(..., "w")`` elsewhere can leave a
     torn file behind a crash, which the checkpoint/restore
     subsystem (DESIGN.md section 11) is built to rule out.
 
 ``manifest-write``
     Publication under a campaign manifest directory happens only
     through the sanctioned writers: raw ``rename(2)``/``link(2)``
-    calls are confined to ``atomicWriteFile`` itself, the
-    checkpoint-chain rotation, and the lease API
-    (``src/runner/lease.cc``). Anything else hand-rolling a rename
-    or link is a second publication path the crash matrix
-    (DESIGN.md section 12) does not cover.
+    calls are confined to the Vfs seam; ``atomicWriteFile``, the
+    checkpoint-chain rotation, and the lease API publish via
+    ``vfs().renamePath``/``vfs().linkPath`` above it. Anything
+    else hand-rolling a rename or link is a second publication
+    path the crash matrix (DESIGN.md section 12) does not cover.
+
+``vfs-io``
+    Raw kernel write-path I/O (``open``/``write``/``fsync``/
+    ``truncate``/``unlink``/``mkdir``/``fwrite`` and friends) in
+    ``src/`` is confined to ``src/io/vfs.cc``. The seam exists so
+    ``FaultyVfs`` can interpose on every durable byte; a raw
+    syscall anywhere else is a durability path ``mc_iofuzz``
+    never fault-injects (DESIGN.md section 15). Read-side calls
+    are unrestricted — they cannot tear a file.
 
 Division of labour with ``tools/mc_analyze``: the determinism axes
 (``determinism``, ``wall-clock``, ``stats-bypass``) also exist there
@@ -112,31 +123,24 @@ GLOBALS_ALLOW = {
 }
 STATS_BYPASS_ALLOW: set[str] = set()
 ATOMIC_WRITE_ALLOW = {
-    # The atomic write-then-rename primitive itself.
-    "src/common/serial.cc",
-    # Sanctioned streaming sinks: registry/report dumps and trace
-    # streams are observability outputs, rewritten whole on resume.
-    "src/stats/registry.cc",
-    "src/stats/report.cc",
-    "src/stats/tracing.cc",
-    # The campaign manifest is an append-only event log; atomic
-    # rename cannot express "durably append one event", so its
-    # writer (ManifestLog) is a sanctioned sink with crash-torn
-    # lines handled by the reader.
-    "src/runner/manifest.cc",
-    # Lease scratch files are fsynced and published by link(2) or
-    # rename — the claim protocol's own atomicity primitive.
-    "src/runner/lease.cc",
+    # Since the Vfs seam (DESIGN.md section 15) every durable byte
+    # routes through src/io: serial/ckpt/manifest/lease/stats call
+    # vfs() and the only translation unit allowed to open a file for
+    # writing is the RealVfs implementation itself.
+    "src/io/vfs.cc",
 }
 MANIFEST_WRITE_ALLOW = {
-    # The write-then-rename primitive itself.
-    "src/common/serial.cc",
-    # Checkpoint-chain rotation: the live chain link is renamed to
-    # `.prev` before the new checkpoint lands atomically.
-    "src/ckpt/ckpt.cc",
-    # The lease API: link(2) claims and read-back-verified rename
-    # publication (DESIGN.md section 12).
-    "src/runner/lease.cc",
+    # Raw rename(2)/link(2) live behind the Vfs seam; the sanctioned
+    # publication protocols (atomic write-then-rename, checkpoint
+    # rotation, lease claims) are built on vfs().renamePath /
+    # vfs().linkPath above it (DESIGN.md sections 12 and 15).
+    "src/io/vfs.cc",
+}
+VFS_IO_ALLOW = {
+    # The one translation unit that may name kernel I/O syscalls:
+    # RealVfs wraps them; FaultyVfs and every caller stay above the
+    # seam (DESIGN.md section 15).
+    "src/io/vfs.cc",
 }
 
 DETERMINISM_PATTERNS = [
@@ -304,6 +308,31 @@ def check_manifest_write(path: str, code: str) -> list[Finding]:
                 "campaign manifest directory go through "
                 "atomicWriteFile or the lease API "
                 "(DESIGN.md section 12)"))
+    return findings
+
+
+# Kernel I/O calls that place, mutate, or flush durable bytes. The
+# seam exists so FaultyVfs can interpose on every one of them; a raw
+# syscall outside RealVfs is a durability path the fault injector
+# (tools/mc_iofuzz) never exercises. Read-side calls (read(2),
+# fopen "rb", ifstream) stay unrestricted: they cannot tear a file.
+_RAW_IO_SYSCALL = re.compile(
+    r"(?<![\w.>])(?:::\s*)?(?:open|openat|creat|write|pwritev?|"
+    r"fwrite|fputs|fputc|fsync|fdatasync|ftruncate|truncate|"
+    r"unlink|unlinkat|mkdir|mkdirat)\s*\(")
+
+
+def check_vfs_io(path: str, code: str) -> list[Finding]:
+    if path in VFS_IO_ALLOW:
+        return []
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if _RAW_IO_SYSCALL.search(line):
+            findings.append(Finding(
+                path, lineno, "vfs-io",
+                "raw write-path I/O call outside the Vfs seam; go "
+                "through vfs() (src/io/vfs.hh) so mc_iofuzz can "
+                "inject faults at this site (DESIGN.md section 15)"))
     return findings
 
 
@@ -487,6 +516,7 @@ def lint_file(path: str, repo_root: str,
         findings += check_globals(path, code)
         findings += check_atomic_write(path, raw)
         findings += check_manifest_write(path, code)
+        findings += check_vfs_io(path, code)
         findings += check_includes(path, raw, repo_root)
     return findings
 

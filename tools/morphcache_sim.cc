@@ -807,6 +807,19 @@ main(int argc, char **argv)
     std::signal(SIGTERM, handleInterruptSignal);
     try {
         return run(opts);
+    } catch (const IoError &err) {
+        // A persistent filesystem fault (ENOSPC, EIO, dead NFS).
+        // The durable state on disk is complete-old or complete-new
+        // by construction, so this run is resumable once the medium
+        // recovers — signalled with the same exit code as an
+        // interrupt (75, EX_TEMPFAIL).
+        std::fprintf(stderr,
+                     "i/o error: %s\n"
+                     "state on disk is consistent; rerun with "
+                     "--resume/--restore once the filesystem "
+                     "recovers\n",
+                     err.what());
+        return ckptResumableExit;
     } catch (const SimError &err) {
         std::fprintf(stderr, "error: %s\n", err.what());
         return 1;
